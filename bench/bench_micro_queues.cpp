@@ -1,0 +1,141 @@
+// Micro-benchmarks (§5 "Real Implementation"): the paper argues LSTF
+// execution at a router is no more complex than fine-grained priorities.
+// These google-benchmark fixtures measure enqueue+dequeue cost of every
+// queue discipline at several backlog depths, plus the event-queue itself.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/lstf.h"
+#include "core/lstf_pheap.h"
+#include "core/omniscient.h"
+#include "sched/drr.h"
+#include "sched/fifo.h"
+#include "sched/fifo_plus.h"
+#include "sched/fq.h"
+#include "sched/lifo.h"
+#include "sched/pfabric.h"
+#include "sched/random_order.h"
+#include "sched/sjf.h"
+#include "sched/static_priority.h"
+#include "sched/virtual_clock.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace ups;
+
+net::packet_ptr make_packet(sim::rng& rng, std::uint64_t id) {
+  auto p = std::make_unique<net::packet>();
+  p->id = id;
+  p->flow_id = rng.next_below(64);
+  p->size_bytes = 1500;
+  p->slack = static_cast<sim::time_ps>(rng.next_below(1'000'000'000));
+  p->priority = static_cast<std::int64_t>(rng.next_below(1'000'000));
+  p->flow_size_bytes = 1'460 * (1 + rng.next_below(1'000));
+  p->remaining_flow_bytes = p->flow_size_bytes;
+  p->fifo_plus_wait = static_cast<sim::time_ps>(rng.next_below(1'000'000));
+  return p;
+}
+
+// Steady-state churn at a given backlog: one enqueue + one dequeue per
+// iteration against a queue pre-filled to `depth`.
+void churn(benchmark::State& state, net::scheduler& q) {
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  sim::rng rng(7);
+  std::uint64_t id = 1;
+  for (std::size_t i = 0; i < depth; ++i) {
+    q.enqueue(make_packet(rng, id++), 0);
+  }
+  sim::time_ps now = 0;
+  for (auto _ : state) {
+    q.enqueue(make_packet(rng, id++), now);
+    auto p = q.dequeue(now);
+    benchmark::DoNotOptimize(p);
+    now += 1000;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void bm_fifo(benchmark::State& state) {
+  sched::fifo q;
+  churn(state, q);
+}
+void bm_lifo(benchmark::State& state) {
+  sched::lifo q;
+  churn(state, q);
+}
+void bm_random(benchmark::State& state) {
+  sched::random_order q{sim::rng(3)};
+  churn(state, q);
+}
+void bm_priority(benchmark::State& state) {
+  sched::static_priority q;
+  churn(state, q);
+}
+void bm_sjf(benchmark::State& state) {
+  sched::sjf q;
+  churn(state, q);
+}
+void bm_fifo_plus(benchmark::State& state) {
+  sched::fifo_plus q;
+  churn(state, q);
+}
+void bm_fq(benchmark::State& state) {
+  sched::fq q(sim::kGbps);
+  churn(state, q);
+}
+void bm_drr(benchmark::State& state) {
+  sched::drr q;
+  churn(state, q);
+}
+void bm_pfabric(benchmark::State& state) {
+  sched::pfabric q(sched::pfabric_mode::srpt);
+  churn(state, q);
+}
+void bm_lstf(benchmark::State& state) {
+  core::lstf q(0, sim::kGbps);
+  churn(state, q);
+}
+void bm_lstf_pheap(benchmark::State& state) {
+  core::lstf_pheap q(0, sim::kGbps);
+  churn(state, q);
+}
+void bm_virtual_clock(benchmark::State& state) {
+  sched::virtual_clock q(sim::kGbps);
+  churn(state, q);
+}
+
+// Event-queue throughput: schedule + run chained events.
+void bm_event_queue(benchmark::State& state) {
+  sim::simulator s;
+  std::int64_t t = 1;
+  for (auto _ : state) {
+    s.schedule_at(t++, [] {});
+    s.run_next();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+}  // namespace
+
+// The §5 comparison: LSTF vs fine-grained priorities at equal backlogs,
+// on both a balanced tree and the pipelined heap the paper cites.
+BENCHMARK(bm_priority)->Arg(16)->Arg(256)->Arg(4096);
+BENCHMARK(bm_lstf)->Arg(16)->Arg(256)->Arg(4096);
+BENCHMARK(bm_lstf_pheap)->Arg(16)->Arg(256)->Arg(4096);
+BENCHMARK(bm_virtual_clock)->Arg(16)->Arg(256)->Arg(4096);
+// Everything else for completeness.
+BENCHMARK(bm_fifo)->Arg(16)->Arg(256)->Arg(4096);
+BENCHMARK(bm_lifo)->Arg(16)->Arg(256)->Arg(4096);
+BENCHMARK(bm_random)->Arg(16)->Arg(256)->Arg(4096);
+BENCHMARK(bm_sjf)->Arg(16)->Arg(256)->Arg(4096);
+BENCHMARK(bm_fifo_plus)->Arg(16)->Arg(256)->Arg(4096);
+BENCHMARK(bm_fq)->Arg(16)->Arg(256)->Arg(4096);
+BENCHMARK(bm_drr)->Arg(16)->Arg(256)->Arg(4096);
+BENCHMARK(bm_pfabric)->Arg(16)->Arg(256)->Arg(4096);
+BENCHMARK(bm_event_queue);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,42 @@
+// Network-wide Earliest Deadline First (Appendix E).
+//
+// The header carries only the static target output time o(p); each router
+// derives a local priority
+//     priority(p, α) = o(p) − tmin(p, α, dest) + T(p, α)
+// from static topology knowledge. The paper proves this produces exactly
+// the same replay schedule as LSTF with dynamic slack; we keep both so the
+// equivalence is checkable by construction.
+#pragma once
+
+#include "net/network.h"
+#include "sched/rank_scheduler.h"
+#include "sim/units.h"
+
+namespace ups::core {
+
+class edf final : public sched::rank_scheduler {
+ public:
+  // `net` must outlive the scheduler; tmin lookups walk the packet's path.
+  edf(std::int32_t port_id, const net::network& net, sim::bits_per_sec rate)
+      : rank_scheduler(port_id, /*drop_highest_rank=*/true),
+        net_(net),
+        rate_(rate) {}
+
+ protected:
+  [[nodiscard]] std::int64_t rank_of(const net::packet& p,
+                                     sim::time_ps /*now*/) const override {
+    // On arrival at the port of router path[k], p.hop == k + 1.
+    const std::size_t here = p.hop - 1;
+    const sim::time_ps tx =
+        rate_ == sim::kInfiniteRate
+            ? 0
+            : sim::transmission_time(p.size_bytes, rate_);
+    return p.deadline - net_.tmin(p, here) + tx;
+  }
+
+ private:
+  const net::network& net_;
+  sim::bits_per_sec rate_;
+};
+
+}  // namespace ups::core

@@ -1,0 +1,21 @@
+#include "core/heuristics.h"
+
+namespace ups::core {
+
+sim::time_ps fairness_slack::next(std::uint64_t flow, std::uint32_t size_bytes,
+                                  sim::time_ps now) {
+  auto& st = flows_[flow];
+  const sim::time_ps service =
+      sim::transmission_time(size_bytes, r_est_);  // bits(p) / r_est
+  sim::time_ps slack = 0;
+  if (st.seen) {
+    const sim::time_ps gap = now - st.last_arrival;
+    slack = std::max<sim::time_ps>(0, st.last_slack + service - gap);
+  }
+  st.seen = true;
+  st.last_slack = slack;
+  st.last_arrival = now;
+  return slack;
+}
+
+}  // namespace ups::core

@@ -1,0 +1,177 @@
+// Pipelined heap (p-heap) priority queue.
+//
+// §5 of the paper argues LSTF is implementable at line rate because its
+// per-router work is the same as fine-grained priorities, "which can be
+// carried out in almost constant time using specialized data-structures
+// such as pipelined heap (p-heap) [6, 16]". This is a software model of
+// that structure: a complete binary heap where both insert and delete-min
+// proceed strictly TOP-DOWN, touching one node per level. In hardware each
+// level is an independent memory bank, so consecutive operations pipeline
+// one level apart and the heap sustains one operation per cycle regardless
+// of depth; in software we expose the per-level operation count so the
+// microbenchmarks can check the "work per op = O(levels)" claim.
+//
+// Ties break FCFS via an insertion sequence number, matching keyed_queue.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace ups::core {
+
+template <typename Value>
+class pheap {
+ public:
+  using key_type = std::pair<std::int64_t, std::uint64_t>;  // (rank, seq)
+
+  explicit pheap(int levels = 16) { reset(levels); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] int levels() const noexcept { return levels_; }
+  // Total node visits across all operations (the pipelined-work metric).
+  [[nodiscard]] std::uint64_t stage_ops() const noexcept { return stage_ops_; }
+
+  void insert(std::int64_t rank, Value value) {
+    if (size_ == capacity_) grow();
+    const key_type key{rank, next_seq_++};
+    // Top-down insertion: carry the new item from the root toward a hole,
+    // swapping it with any node it beats on the way. Each level's subtree
+    // hole count steers the descent, so exactly one node per level is
+    // touched — the property that lets hardware pipeline inserts.
+    std::size_t node = 1;
+    key_type carry_key = key;
+    Value carry_value = std::move(value);
+    while (true) {
+      ++stage_ops_;
+      --holes_[node];
+      if (!valid_[node]) {
+        keys_[node] = carry_key;
+        values_[node] = std::move(carry_value);
+        valid_[node] = true;
+        break;
+      }
+      if (carry_key < keys_[node]) {
+        std::swap(carry_key, keys_[node]);
+        std::swap(carry_value, values_[node]);
+      }
+      const std::size_t l = 2 * node;
+      const std::size_t r = 2 * node + 1;
+      node = (holes_[l] > 0) ? l : r;
+    }
+    ++size_;
+  }
+
+  [[nodiscard]] const Value& peek() const {
+    if (empty()) throw std::logic_error("pheap: peek on empty heap");
+    return values_[1];
+  }
+  [[nodiscard]] std::int64_t peek_rank() const {
+    if (empty()) throw std::logic_error("pheap: peek on empty heap");
+    return keys_[1].first;
+  }
+
+  [[nodiscard]] Value pop_min() {
+    if (empty()) throw std::logic_error("pheap: pop on empty heap");
+    Value out = std::move(values_[1]);
+    // Top-down deletion: repeatedly pull the smaller valid child up; the
+    // vacated leaf position becomes a hole. Again one node per level.
+    std::size_t node = 1;
+    while (true) {
+      ++stage_ops_;
+      const std::size_t l = 2 * node;
+      const std::size_t r = 2 * node + 1;
+      const bool lv = l <= capacity_index_ && valid_[l];
+      const bool rv = r <= capacity_index_ && valid_[r];
+      if (!lv && !rv) {
+        valid_[node] = false;
+        break;
+      }
+      std::size_t c;
+      if (lv && rv) {
+        c = keys_[l] < keys_[r] ? l : r;
+      } else {
+        c = lv ? l : r;
+      }
+      keys_[node] = keys_[c];
+      values_[node] = std::move(values_[c]);
+      node = c;
+    }
+    // Credit the hole back to every level of the vacated path.
+    for (std::size_t a = node; a >= 1; a /= 2) ++holes_[a];
+    --size_;
+    return out;
+  }
+
+ private:
+  void reset(int levels) {
+    levels_ = levels;
+    capacity_ = (std::size_t{1} << levels) - 1;
+    capacity_index_ = capacity_;
+    keys_.assign(capacity_ + 2, key_type{});
+    values_.clear();
+    values_.resize(capacity_ + 2);  // move-only payloads: no copy-fill
+    valid_.assign(capacity_ + 2, false);
+    holes_.assign(2 * (capacity_ + 2), 0);
+    // Subtree hole counts for a complete tree of `levels` levels.
+    init_holes(1, levels);
+  }
+
+  std::int64_t init_holes(std::size_t node, int depth) {
+    if (depth == 0 || node > capacity_index_) return 0;
+    const std::int64_t h =
+        1 + init_holes(2 * node, depth - 1) +
+        init_holes(2 * node + 1, depth - 1);
+    holes_[node] = h;
+    return h;
+  }
+
+  void grow() {
+    // Rebuild one level deeper (software convenience; hardware p-heaps are
+    // provisioned for the worst-case buffer size up front).
+    pheap bigger(levels_ + 1);
+    bigger.next_seq_ = next_seq_;
+    bigger.stage_ops_ = stage_ops_;
+    for (std::size_t i = 1; i <= capacity_index_; ++i) {
+      if (valid_[i]) bigger.insert_with_key(keys_[i], std::move(values_[i]));
+    }
+    *this = std::move(bigger);
+  }
+
+  void insert_with_key(key_type key, Value value) {
+    std::size_t node = 1;
+    key_type carry_key = key;
+    Value carry_value = std::move(value);
+    while (true) {
+      --holes_[node];
+      if (!valid_[node]) {
+        keys_[node] = carry_key;
+        values_[node] = std::move(carry_value);
+        valid_[node] = true;
+        break;
+      }
+      if (carry_key < keys_[node]) {
+        std::swap(carry_key, keys_[node]);
+        std::swap(carry_value, values_[node]);
+      }
+      const std::size_t l = 2 * node;
+      node = (holes_[l] > 0) ? l : 2 * node + 1;
+    }
+    ++size_;
+  }
+
+  int levels_ = 0;
+  std::size_t capacity_ = 0;
+  std::size_t capacity_index_ = 0;
+  std::size_t size_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t stage_ops_ = 0;
+  std::vector<key_type> keys_;
+  std::vector<Value> values_;
+  std::vector<char> valid_;
+  std::vector<std::int64_t> holes_;
+};
+
+}  // namespace ups::core

@@ -1,0 +1,81 @@
+// Schedule replay engine — the heart of §2's empirical methodology.
+//
+// Given a recorded schedule {(path(p), i(p), o(p))}, the engine rebuilds the
+// topology with a candidate-UPS scheduler at every port, re-injects every
+// packet at its ingress router at exactly i(p) with a header initialized
+// from nothing but (i(p), o(p), path(p)) — black-box initialization — and
+// measures how many packets miss their original output times. The
+// omniscient mode instead initializes the per-hop vector of Appendix B.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/network.h"
+#include "net/trace.h"
+#include "sim/time.h"
+
+namespace ups::core {
+
+enum class replay_mode : std::uint8_t {
+  lstf,                  // slack(p) = o(p) - i(p) - tmin(p)
+  lstf_preemptive,       // same, resume-style preemption enabled
+  lstf_pheap,            // same ordering, pipelined-heap backing (§5)
+  edf,                   // static header o(p), per-router deadline priority
+  priority_output_time,  // simple priorities with priority(p) = o(p), §2.3(7)
+  omniscient,            // per-hop scheduled times from the original run
+};
+
+[[nodiscard]] const char* to_string(replay_mode m);
+
+struct replay_outcome {
+  std::uint64_t id = 0;
+  sim::time_ps original_out = 0;
+  sim::time_ps replay_out = 0;
+  sim::time_ps original_queueing = 0;
+  sim::time_ps replay_queueing = 0;
+  [[nodiscard]] sim::time_ps lateness() const noexcept {
+    return replay_out - original_out;
+  }
+};
+
+struct replay_result {
+  std::vector<replay_outcome> outcomes;
+  std::uint64_t total = 0;
+  std::uint64_t overdue = 0;           // o'(p) > o(p)
+  std::uint64_t overdue_beyond_T = 0;  // o'(p) > o(p) + T
+  sim::time_ps threshold_T = 0;
+
+  [[nodiscard]] double frac_overdue() const {
+    return total == 0 ? 0.0 : static_cast<double>(overdue) / total;
+  }
+  [[nodiscard]] double frac_overdue_beyond_T() const {
+    return total == 0 ? 0.0 : static_cast<double>(overdue_beyond_T) / total;
+  }
+};
+
+// Populates an empty network with the experiment's nodes and links (same
+// callable used for the original run and the replay run).
+using topology_builder = std::function<void(net::network&)>;
+
+struct replay_options {
+  replay_mode mode = replay_mode::lstf;
+  // Overdue tolerance T: one transmission time on the bottleneck link.
+  sim::time_ps threshold_T = 0;
+  std::uint64_t seed = 1;
+  // Keep per-packet outcomes (Figure 1 needs them; Table 1 does not).
+  bool keep_outcomes = true;
+  // Omniscient-mode header quantization (§5's "least information" open
+  // question): per-hop deadlines are rounded down to multiples of this
+  // quantum before replay, modelling a header with fewer bits of timing
+  // precision. 0 = exact (Appendix B's perfect replay).
+  sim::time_ps omniscient_quantum = 0;
+};
+
+// Replays `tr` over the given topology and reports overdue statistics.
+[[nodiscard]] replay_result replay_trace(const net::trace& tr,
+                                         const topology_builder& topo,
+                                         const replay_options& opt);
+
+}  // namespace ups::core

@@ -1,0 +1,48 @@
+// Minimal CLI flag parsing shared by bench and example binaries.
+//
+//   --packets=N   override the per-scenario packet budget
+//   --seed=N      RNG seed
+//   --scale=F     multiply default packet budgets by F
+//   --quick       shrink budgets ~10x for smoke runs
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace ups::exp {
+
+struct args {
+  std::uint64_t packets = 0;  // 0: use the experiment default
+  std::uint64_t seed = 1;
+  double scale = 1.0;
+  bool quick = false;
+
+  [[nodiscard]] static args parse(int argc, char** argv) {
+    args a;
+    for (int i = 1; i < argc; ++i) {
+      const std::string s = argv[i];
+      if (s.rfind("--packets=", 0) == 0) {
+        a.packets = std::strtoull(s.c_str() + 10, nullptr, 10);
+      } else if (s.rfind("--seed=", 0) == 0) {
+        a.seed = std::strtoull(s.c_str() + 7, nullptr, 10);
+      } else if (s.rfind("--scale=", 0) == 0) {
+        a.scale = std::strtod(s.c_str() + 8, nullptr);
+      } else if (s == "--quick") {
+        a.quick = true;
+      }
+    }
+    return a;
+  }
+
+  // Applies overrides to an experiment's default budget.
+  [[nodiscard]] std::uint64_t budget(std::uint64_t def) const {
+    if (packets != 0) return packets;
+    double b = static_cast<double>(def) * scale;
+    if (quick) b /= 10.0;
+    return static_cast<std::uint64_t>(b < 1000 ? 1000 : b);
+  }
+};
+
+}  // namespace ups::exp

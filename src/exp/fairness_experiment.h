@@ -1,0 +1,60 @@
+// §3.3 — asymptotic fairness (Figure 4): 90 long-lived TCP flows on the
+// Internet2 topology with 10 Gbps edges and shrunken propagation delays;
+// Jain's fairness index of per-millisecond flow throughputs over time, for
+// FIFO, FQ and LSTF with virtual-clock slack at several r_est values.
+//
+// Per the paper, "the topology is such that the fair share rate of each
+// flow on each link in the core is around 1 Gbps (shared by up to 13
+// flows)": we realize that property by sizing each core link to
+// (#crossing flows x 1 Gbps).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/scenario.h"
+#include "sim/units.h"
+
+namespace ups::exp {
+
+struct fairness_config {
+  std::uint64_t seed = 1;
+  int flows = 90;
+  sim::time_ps start_jitter = 5 * sim::kMillisecond;
+  sim::time_ps horizon = 20 * sim::kMillisecond;
+  sim::time_ps sample_every = sim::kMillisecond;
+  sim::bits_per_sec fair_share = sim::kGbps;
+  double prop_delay_scale = 0.01;  // paper shrinks delays for scalability
+};
+
+enum class fairness_variant : std::uint8_t { fifo, fq, lstf };
+
+struct fairness_result {
+  std::string label;
+  sim::bits_per_sec r_est = 0;  // only for LSTF variants
+  std::vector<double> time_ms;
+  std::vector<double> jain;
+  double final_jain = 0.0;
+};
+
+[[nodiscard]] fairness_result run_fairness(fairness_variant v,
+                                           sim::bits_per_sec r_est,
+                                           const fairness_config& cfg);
+
+// §3.3's weighted extension: "we can also extend the slack assignment
+// heuristic to achieve weighted fairness by using different values of
+// r_est for different flows, in proportion to the desired weights."
+// Flows are split into two classes; class 1 uses weight x r_est. Returns
+// the measured class-throughput ratio over the second half of the horizon
+// (expected to approach `weight`).
+struct weighted_fairness_result {
+  double measured_ratio = 0.0;  // class1 mean throughput / class0 mean
+  double class0_mbps = 0.0;
+  double class1_mbps = 0.0;
+};
+
+[[nodiscard]] weighted_fairness_result run_weighted_fairness(
+    double weight, sim::bits_per_sec r_est, const fairness_config& cfg);
+
+}  // namespace ups::exp

@@ -1,0 +1,110 @@
+#include "exp/fct_experiment.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/heuristics.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "traffic/size_dist.h"
+#include "traffic/workload.h"
+
+namespace ups::exp {
+
+const char* to_string(fct_variant v) {
+  switch (v) {
+    case fct_variant::fifo: return "FIFO";
+    case fct_variant::srpt: return "SRPT";
+    case fct_variant::sjf: return "SJF";
+    case fct_variant::lstf: return "LSTF";
+  }
+  return "?";
+}
+
+std::vector<std::uint64_t> default_fct_buckets() {
+  // Figure 2's x-axis: multiples of the 1460 B MSS, then the heavy tail.
+  return {1'460,  2'920,   4'380,    7'300,     10'220,
+          58'400, 105'120, 1'051'200, 3'153'600};
+}
+
+fct_result run_fct(fct_variant v, const fct_config& cfg) {
+  auto topology = make_topology(cfg.topo);
+  if (cfg.prop_delay_scale != 1.0) {
+    topology.scale_delays(cfg.prop_delay_scale);
+  }
+
+  sim::simulator sim;
+  net::network net(sim);
+  topo::populate(topology, net);
+  net.set_buffer_bytes(cfg.buffer_bytes);
+
+  core::sched_kind kind = core::sched_kind::fifo;
+  switch (v) {
+    case fct_variant::fifo: kind = core::sched_kind::fifo; break;
+    case fct_variant::srpt: kind = core::sched_kind::srpt_pfabric; break;
+    case fct_variant::sjf: kind = core::sched_kind::sjf_pfabric; break;
+    case fct_variant::lstf: kind = core::sched_kind::lstf; break;
+  }
+  net.set_scheduler_factory(core::make_factory(kind, cfg.seed, &net));
+  net.build();
+
+  // The web-search-like distribution (mean ~1.9 MB) keeps long flows alive
+  // long enough to congest the bottlenecks while short flows contend — the
+  // regime in which Figure 2's schedulers separate.
+  const auto dist = traffic::web_search();
+  traffic::workload_config wcfg;
+  wcfg.utilization = cfg.utilization;
+  wcfg.seed = cfg.seed;
+  wcfg.packet_budget = cfg.packet_budget;
+  const auto wl = traffic::generate(net, topology, *dist, wcfg);
+
+  transport::tcp_config tcfg;
+  transport::tcp_manager tcp(net, tcfg);
+
+  core::fct_slack slack_policy;
+  for (const auto& f : wl.flows) {
+    transport::header_stamper stamper;
+    if (v == fct_variant::lstf) {
+      const sim::time_ps s = slack_policy.slack_for(f.size_bytes);
+      stamper = [s](net::packet& p) { p.slack = s; };
+    }
+    tcp.start_flow(f.id, f.src, f.dst, f.size_bytes, f.start,
+                   std::move(stamper));
+  }
+  sim.run();
+
+  if (tcp.flows_in_progress() != 0) {
+    throw std::runtime_error("fct experiment: flows failed to complete");
+  }
+
+  fct_result res;
+  res.label = to_string(v);
+  res.bucket_edges = default_fct_buckets();
+  res.bucket_mean_fct_s.assign(res.bucket_edges.size(), 0.0);
+  res.bucket_counts.assign(res.bucket_edges.size(), 0);
+  double total = 0.0;
+  for (const auto& c : tcp.completions()) {
+    const double fct_s = sim::to_seconds(c.fct());
+    total += fct_s;
+    ++res.flows;
+    const auto it = std::lower_bound(res.bucket_edges.begin(),
+                                     res.bucket_edges.end(), c.size_bytes);
+    const auto idx = static_cast<std::size_t>(
+        std::min<std::ptrdiff_t>(it - res.bucket_edges.begin(),
+                                 static_cast<std::ptrdiff_t>(
+                                     res.bucket_edges.size() - 1)));
+    res.bucket_mean_fct_s[idx] += fct_s;
+    ++res.bucket_counts[idx];
+  }
+  for (std::size_t i = 0; i < res.bucket_edges.size(); ++i) {
+    if (res.bucket_counts[i] > 0) {
+      res.bucket_mean_fct_s[i] /= static_cast<double>(res.bucket_counts[i]);
+    }
+  }
+  res.overall_mean_fct_s =
+      res.flows == 0 ? 0.0 : total / static_cast<double>(res.flows);
+  res.drops = net.stats().dropped;
+  return res;
+}
+
+}  // namespace ups::exp

@@ -1,0 +1,47 @@
+// §3.1 — mean flow completion time (Figure 2): TCP flows on the Internet2
+// topology with 5 MB buffers; FIFO vs SRPT vs SJF vs LSTF with the
+// slack = flow_size × D initialization.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/registry.h"
+#include "exp/scenario.h"
+#include "transport/tcp.h"
+
+namespace ups::exp {
+
+struct fct_config {
+  topo_kind topo = topo_kind::i2_default;
+  double utilization = 0.9;
+  std::uint64_t seed = 1;
+  std::uint64_t packet_budget = 150'000;
+  std::int64_t buffer_bytes = 5'000'000;  // paper: 5 MB per router
+  // Propagation delays scaled down so flow completion is congestion-
+  // dominated rather than RTT-dominated — the regime the paper's
+  // hundreds-of-milliseconds FCTs imply (and where scheduling matters).
+  double prop_delay_scale = 0.02;
+};
+
+struct fct_result {
+  std::string label;
+  // Bucketed by flow size (upper edges in bytes); Figure 2's x-axis.
+  std::vector<std::uint64_t> bucket_edges;
+  std::vector<double> bucket_mean_fct_s;
+  std::vector<std::uint64_t> bucket_counts;
+  double overall_mean_fct_s = 0.0;
+  std::uint64_t flows = 0;
+  std::uint64_t drops = 0;
+};
+
+// Scheduler variants of Figure 2.
+enum class fct_variant : std::uint8_t { fifo, srpt, sjf, lstf };
+[[nodiscard]] const char* to_string(fct_variant v);
+
+[[nodiscard]] fct_result run_fct(fct_variant v, const fct_config& cfg);
+
+[[nodiscard]] std::vector<std::uint64_t> default_fct_buckets();
+
+}  // namespace ups::exp

@@ -1,0 +1,60 @@
+#include "exp/replay_experiment.h"
+
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "traffic/size_dist.h"
+#include "traffic/udp_app.h"
+#include "traffic/workload.h"
+
+namespace ups::exp {
+
+original_run run_original(const scenario& sc) {
+  original_run out;
+  out.topology = make_topology(sc.topo);
+  out.threshold_T =
+      sim::transmission_time(1500, out.topology.bottleneck_rate());
+
+  sim::simulator sim;
+  net::network net(sim);
+  topo::populate(out.topology, net);
+  net.set_buffer_bytes(0);  // paper: buffers large enough for no drops
+  net.set_scheduler_factory(core::make_factory(sc.sched, sc.seed, &net));
+  net.build();
+
+  net::trace_recorder recorder(net, sc.record_hops);
+
+  const auto dist = traffic::default_heavy_tailed();
+  traffic::workload_config wcfg;
+  wcfg.utilization = sc.utilization;
+  wcfg.seed = sc.seed;
+  wcfg.packet_budget = sc.packet_budget;
+  auto wl = traffic::generate(net, out.topology, *dist, wcfg);
+  out.per_host_rate_bps = wl.per_host_rate_bps;
+
+  traffic::udp_app::options aopt;
+  aopt.record_hops = sc.record_hops;
+  traffic::udp_app app(net, std::move(wl.flows), aopt);
+
+  sim.run();
+  out.trace = recorder.take();
+  return out;
+}
+
+core::replay_result run_replay(const original_run& orig,
+                               core::replay_mode mode, bool keep_outcomes) {
+  core::replay_options opt;
+  opt.mode = mode;
+  opt.threshold_T = orig.threshold_T;
+  opt.keep_outcomes = keep_outcomes;
+  const auto& topology = orig.topology;
+  return core::replay_trace(
+      orig.trace,
+      [&topology](net::network& n) { topo::populate(topology, n); }, opt);
+}
+
+core::replay_result table1_row(const scenario& sc) {
+  const auto orig = run_original(sc);
+  return run_replay(orig, core::replay_mode::lstf, false);
+}
+
+}  // namespace ups::exp

@@ -1,0 +1,32 @@
+// End-to-end replay experiments (§2.3): run an original schedule under a
+// scenario's scheduler collection, record the trace, then replay it with a
+// candidate UPS and measure overdue fractions — the Table 1 pipeline.
+#pragma once
+
+#include "core/replay.h"
+#include "exp/scenario.h"
+#include "net/trace.h"
+#include "topo/topology.h"
+
+namespace ups::exp {
+
+struct original_run {
+  topo::topology topology;
+  net::trace trace;
+  sim::time_ps threshold_T = 0;  // 1500B at the bottleneck rate
+  double per_host_rate_bps = 0.0;
+};
+
+// Runs the scenario's original schedule over Poisson/heavy-tailed UDP
+// traffic and records it.
+[[nodiscard]] original_run run_original(const scenario& sc);
+
+// Replays a recorded run with the given candidate UPS.
+[[nodiscard]] core::replay_result run_replay(const original_run& orig,
+                                             core::replay_mode mode,
+                                             bool keep_outcomes = false);
+
+// Convenience: original + LSTF replay in one call (a Table 1 row).
+[[nodiscard]] core::replay_result table1_row(const scenario& sc);
+
+}  // namespace ups::exp

@@ -1,0 +1,39 @@
+#include "exp/scenario.h"
+
+#include <stdexcept>
+
+#include "topo/fattree.h"
+#include "topo/internet2.h"
+#include "topo/rocketfuel.h"
+
+namespace ups::exp {
+
+const char* to_string(topo_kind k) {
+  switch (k) {
+    case topo_kind::i2_default: return "I2 1Gbps-10Gbps";
+    case topo_kind::i2_1g_1g: return "I2 1Gbps-1Gbps";
+    case topo_kind::i2_10g_10g: return "I2 10Gbps-10Gbps";
+    case topo_kind::rocketfuel: return "RocketFuel";
+    case topo_kind::fattree: return "Datacenter";
+  }
+  return "?";
+}
+
+topo::topology make_topology(topo_kind k) {
+  switch (k) {
+    case topo_kind::i2_default: return topo::internet2_1g_10g();
+    case topo_kind::i2_1g_1g: return topo::internet2_1g_1g();
+    case topo_kind::i2_10g_10g: return topo::internet2_10g_10g();
+    case topo_kind::rocketfuel: return topo::rocketfuel();
+    case topo_kind::fattree: return topo::fattree();
+  }
+  throw std::logic_error("unhandled topology kind");
+}
+
+std::string scenario::label() const {
+  return std::string(to_string(topo)) + " @" +
+         std::to_string(static_cast<int>(utilization * 100)) + "% " +
+         core::to_string(sched);
+}
+
+}  // namespace ups::exp

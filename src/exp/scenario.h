@@ -1,0 +1,35 @@
+// Experiment scenarios: the (topology, utilization, scheduler, seed)
+// combinations that make up the paper's Table 1 and figures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/registry.h"
+#include "topo/topology.h"
+
+namespace ups::exp {
+
+enum class topo_kind : std::uint8_t {
+  i2_default,  // I2 1Gbps-10Gbps
+  i2_1g_1g,
+  i2_10g_10g,
+  rocketfuel,
+  fattree,
+};
+
+[[nodiscard]] const char* to_string(topo_kind k);
+[[nodiscard]] topo::topology make_topology(topo_kind k);
+
+struct scenario {
+  topo_kind topo = topo_kind::i2_default;
+  double utilization = 0.7;
+  core::sched_kind sched = core::sched_kind::random;
+  std::uint64_t seed = 1;
+  std::uint64_t packet_budget = 200'000;
+  bool record_hops = false;  // omniscient replay needs per-hop times
+
+  [[nodiscard]] std::string label() const;
+};
+
+}  // namespace ups::exp

@@ -1,0 +1,66 @@
+#include "exp/tail_experiment.h"
+
+#include "core/heuristics.h"
+#include "core/registry.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "traffic/size_dist.h"
+#include "traffic/udp_app.h"
+#include "traffic/workload.h"
+
+namespace ups::exp {
+
+const char* to_string(tail_variant v) {
+  switch (v) {
+    case tail_variant::fifo: return "FIFO";
+    case tail_variant::lstf_uniform_slack: return "LSTF";
+  }
+  return "?";
+}
+
+tail_result run_tail(tail_variant v, const tail_config& cfg) {
+  const auto topology = make_topology(cfg.topo);
+
+  sim::simulator sim;
+  net::network net(sim);
+  topo::populate(topology, net);
+  net.set_buffer_bytes(cfg.buffer_bytes);
+  const auto kind = v == tail_variant::fifo ? core::sched_kind::fifo
+                                            : core::sched_kind::lstf;
+  net.set_scheduler_factory(core::make_factory(kind, cfg.seed, &net));
+  net.build();
+
+  tail_result res;
+  res.label = to_string(v);
+  res.delay_s.reserve(cfg.packet_budget);
+  net.hooks().on_egress = [&res, &sim](const net::packet& p,
+                                       sim::time_ps now) {
+    res.delay_s.add(sim::to_seconds(now - p.created_at));
+    (void)sim;
+  };
+
+  const auto dist = traffic::default_heavy_tailed();
+  traffic::workload_config wcfg;
+  wcfg.utilization = cfg.utilization;
+  wcfg.seed = cfg.seed;
+  wcfg.packet_budget = cfg.packet_budget;
+  auto wl = traffic::generate(net, topology, *dist, wcfg);
+
+  core::tail_slack slack_policy;  // uniform 1 s: LSTF == FIFO+
+  traffic::udp_app::options aopt;
+  if (v == tail_variant::lstf_uniform_slack) {
+    aopt.stamper = [&slack_policy](net::packet& p) {
+      p.slack = slack_policy.slack_for();
+    };
+  }
+  traffic::udp_app app(net, std::move(wl.flows), aopt);
+  sim.run();
+
+  res.mean_s = res.delay_s.mean();
+  res.p99_s = res.delay_s.quantile(0.99);
+  res.p999_s = res.delay_s.quantile(0.999);
+  res.drops = net.stats().dropped;
+  return res;
+}
+
+}  // namespace ups::exp

@@ -1,0 +1,36 @@
+// §3.2 — tail packet delays (Figure 3): UDP flows on Internet2; LSTF with a
+// uniform initial slack (which makes it FIFO+) against FIFO, comparing the
+// end-to-end packet delay distribution.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "exp/scenario.h"
+#include "stats/summary.h"
+
+namespace ups::exp {
+
+struct tail_config {
+  topo_kind topo = topo_kind::i2_default;
+  double utilization = 0.7;
+  std::uint64_t seed = 1;
+  std::uint64_t packet_budget = 150'000;
+  std::int64_t buffer_bytes = 5'000'000;
+};
+
+enum class tail_variant : std::uint8_t { fifo, lstf_uniform_slack };
+[[nodiscard]] const char* to_string(tail_variant v);
+
+struct tail_result {
+  std::string label;
+  stats::sample_set delay_s;  // per-packet end-to-end delay (seconds)
+  double mean_s = 0.0;
+  double p99_s = 0.0;
+  double p999_s = 0.0;
+  std::uint64_t drops = 0;
+};
+
+[[nodiscard]] tail_result run_tail(tail_variant v, const tail_config& cfg);
+
+}  // namespace ups::exp

@@ -1,0 +1,193 @@
+#include "net/network.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+#include "net/routing.h"
+
+namespace ups::net {
+
+node_id network::add_router(std::string name) {
+  if (built_) throw std::logic_error("network: add_router after build");
+  const auto id = static_cast<node_id>(nodes_.size());
+  nodes_.push_back(node{id, node_kind::router, std::move(name)});
+  return id;
+}
+
+node_id network::add_host(std::string name) {
+  if (built_) throw std::logic_error("network: add_host after build");
+  const auto id = static_cast<node_id>(nodes_.size());
+  nodes_.push_back(node{id, node_kind::host, std::move(name)});
+  return id;
+}
+
+void network::add_link(node_id a, node_id b, sim::bits_per_sec rate,
+                       sim::time_ps prop_delay) {
+  if (built_) throw std::logic_error("network: add_link after build");
+  links_.push_back(link_spec{a, b, rate, prop_delay});
+}
+
+void network::build() {
+  if (built_) throw std::logic_error("network: build called twice");
+  if (!factory_) throw std::logic_error("network: no scheduler factory");
+  built_ = true;
+  out_ports_.resize(nodes_.size());
+  host_handlers_.resize(nodes_.size());
+  auto make_port = [&](node_id from, node_id to, sim::bits_per_sec rate,
+                       sim::time_ps delay) {
+    const auto pid = static_cast<std::int32_t>(ports_.size());
+    const port_info info{pid, from, to, nodes_[from].kind, rate};
+    auto p = std::make_unique<port>(*this, sim_, pid, from, to, rate, delay,
+                                    factory_(info), buffer_bytes_);
+    p->set_preemption(preemption_);
+    out_ports_[from].emplace_back(to, pid);
+    ports_.push_back(std::move(p));
+  };
+  for (const auto& l : links_) {
+    make_port(l.a, l.b, l.rate, l.delay);
+    make_port(l.b, l.a, l.rate, l.delay);
+  }
+}
+
+port& network::port_between(node_id from, node_id to) {
+  const port* p = find_port(from, to);
+  if (p == nullptr) throw std::out_of_range("network: no such port");
+  return const_cast<port&>(*p);
+}
+
+const port* network::find_port(node_id from, node_id to) const {
+  for (const auto& [nbr, pid] : out_ports_[from]) {
+    if (nbr == to) return ports_[pid].get();
+  }
+  return nullptr;
+}
+
+node_id network::attachment(node_id host) const {
+  assert(nodes_[host].kind == node_kind::host);
+  if (out_ports_[host].size() != 1) {
+    throw std::logic_error("network: host must have exactly one uplink");
+  }
+  return out_ports_[host].front().first;
+}
+
+const std::vector<node_id>& network::route(node_id src_host,
+                                           node_id dst_host) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src_host))
+       << 32) |
+      static_cast<std::uint32_t>(dst_host);
+  auto it = route_cache_.find(key);
+  if (it != route_cache_.end()) return it->second;
+
+  if (routing_graph_.empty()) {
+    // Router-only graph; host links excluded so paths are router sequences.
+    routing_graph_.resize(nodes_.size());
+    for (const auto& p : ports_) {
+      if (nodes_[p->from()].kind == node_kind::router &&
+          nodes_[p->to()].kind == node_kind::router) {
+        routing_graph_[p->from()].push_back(
+            routing_edge{p->to(), p->prop_delay() + 1});
+      }
+    }
+  }
+  const node_id r0 = attachment(src_host);
+  const node_id r1 = attachment(dst_host);
+  auto path = shortest_path(routing_graph_, r0, r1);
+  if (path.empty()) throw std::runtime_error("network: no route");
+  return route_cache_.emplace(key, std::move(path)).first->second;
+}
+
+sim::time_ps network::tmin(const packet& p, std::size_t from_hop) const {
+  assert(!p.path.empty());
+  sim::time_ps total = 0;
+  for (std::size_t j = from_hop; j < p.path.size(); ++j) {
+    const node_id here = p.path[j];
+    const node_id next =
+        (j + 1 < p.path.size()) ? p.path[j + 1] : p.dst_host;
+    const port* pt = find_port(here, next);
+    if (pt == nullptr) throw std::logic_error("network: broken path");
+    total += pt->transmission_time(p.size_bytes);
+    if (j + 1 < p.path.size()) total += pt->prop_delay();
+  }
+  return total;
+}
+
+void network::send_from_host(packet_ptr p) {
+  assert(built_);
+  if (p->path.empty()) p->path = route(p->src_host, p->dst_host);
+  p->hop = 0;
+  p->created_at = sim_.now();
+  ++stats_.injected;
+  port_between(p->src_host, p->path.front()).receive(std::move(p));
+}
+
+void network::inject_at_ingress(packet_ptr p, sim::time_ps at) {
+  assert(built_);
+  if (p->path.empty()) p->path = route(p->src_host, p->dst_host);
+  p->hop = 0;
+  p->created_at = at;
+  ++stats_.injected;
+  const node_id ingress = p->path.front();
+  post(std::move(p), ingress, at);
+}
+
+void network::post(packet_ptr p, node_id to, sim::time_ps at) {
+  std::size_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    in_flight_[slot] = std::move(p);
+  } else {
+    slot = in_flight_.size();
+    in_flight_.push_back(std::move(p));
+  }
+  sim_.schedule_at(at, [this, slot, to] {
+    packet_ptr q = std::move(in_flight_[slot]);
+    free_slots_.push_back(slot);
+    deliver(std::move(q), to);
+  });
+}
+
+void network::transmitted(packet_ptr p, const port& from_port,
+                          sim::time_ps now) {
+  const node_id to = from_port.to();
+  if (nodes_[to].kind == node_kind::host) {
+    // Last bit left the egress router: this is o(p).
+    if (hooks_.on_egress) hooks_.on_egress(*p, now);
+  }
+  post(std::move(p), to, now + from_port.prop_delay());
+}
+
+void network::deliver(packet_ptr p, node_id at) {
+  if (nodes_[at].kind == node_kind::router) {
+    assert(p->hop < p->path.size() && p->path[p->hop] == at);
+    if (p->hop == 0) {
+      p->ingress_time = sim_.now();
+      if (hooks_.on_ingress) hooks_.on_ingress(*p, sim_.now());
+    }
+    const node_id next = p->at_last_router() ? p->dst_host : p->path[p->hop + 1];
+    ++p->hop;
+    port_between(at, next).receive(std::move(p));
+    return;
+  }
+  // Host delivery.
+  assert(at == p->dst_host);
+  ++stats_.delivered;
+  if (host_handlers_[at]) {
+    host_handlers_[at](std::move(p));
+  }
+}
+
+void network::count_drop(const packet& p, node_id at, sim::time_ps now) {
+  ++stats_.dropped;
+  if (hooks_.on_drop) hooks_.on_drop(p, at, now);
+}
+
+void network::set_host_handler(node_id host,
+                               std::function<void(packet_ptr)> h) {
+  assert(built_);
+  host_handlers_[host] = std::move(h);
+}
+
+}  // namespace ups::net

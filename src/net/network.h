@@ -1,0 +1,159 @@
+// Store-and-forward network: nodes, directed ports, static shortest-path
+// routing, packet forwarding, and measurement hooks.
+//
+// Matches the paper's model (§2.1): the input is a set of packets with
+// ingress arrival times and fixed paths; every router runs a per-port
+// scheduling algorithm; i(p) is the last-bit arrival at the ingress router
+// and o(p) the last-bit departure from the egress router.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/node.h"
+#include "net/packet.h"
+#include "net/port.h"
+#include "net/routing.h"
+#include "net/scheduler.h"
+#include "sim/simulator.h"
+#include "sim/units.h"
+
+namespace ups::net {
+
+// Context handed to the scheduler factory for each port, so experiments can
+// assign different algorithms to different routers (e.g. half FQ, half
+// FIFO+) or treat host NICs specially.
+struct port_info {
+  std::int32_t port_id;
+  node_id from;
+  node_id to;
+  node_kind from_kind;
+  sim::bits_per_sec rate;
+};
+
+using scheduler_factory =
+    std::function<std::unique_ptr<scheduler>(const port_info&)>;
+
+struct network_hooks {
+  // Last bit of p arrived at its ingress router (defines i(p)).
+  std::function<void(const packet&, sim::time_ps)> on_ingress;
+  // Last bit of p left its egress router (defines o(p)).
+  std::function<void(const packet&, sim::time_ps)> on_egress;
+  // A packet was dropped at a full buffer.
+  std::function<void(const packet&, node_id at, sim::time_ps)> on_drop;
+};
+
+struct network_stats {
+  std::uint64_t injected = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+};
+
+class network {
+ public:
+  explicit network(sim::simulator& sim) : sim_(sim) {}
+  network(const network&) = delete;
+  network& operator=(const network&) = delete;
+
+  // --- construction (before build()) ---
+  node_id add_router(std::string name);
+  node_id add_host(std::string name);
+  // Adds a duplex link (two directed ports once built).
+  void add_link(node_id a, node_id b, sim::bits_per_sec rate,
+                sim::time_ps prop_delay);
+  void set_scheduler_factory(scheduler_factory f) { factory_ = std::move(f); }
+  // Buffer capacity per port in bytes; <= 0 means unlimited.
+  void set_buffer_bytes(std::int64_t b) { buffer_bytes_ = b; }
+  void set_preemption(bool on) { preemption_ = on; }
+  // Materializes ports. Must be called exactly once before any traffic.
+  void build();
+
+  // --- traffic entry points ---
+  // Sends from the source host NIC (normal operation: host link pacing
+  // included, path stamped from static routing if absent).
+  void send_from_host(packet_ptr p);
+  // Replay injection: delivers p at its ingress router at time `at`,
+  // bypassing the host link exactly as the paper's replay model does.
+  void inject_at_ingress(packet_ptr p, sim::time_ps at);
+
+  // --- forwarding internals (used by port) ---
+  void transmitted(packet_ptr p, const port& from_port, sim::time_ps now);
+  void count_drop(const packet& p, node_id at, sim::time_ps now);
+
+  // --- lookup ---
+  [[nodiscard]] const node& node_at(node_id id) const { return nodes_[id]; }
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] bool is_router(node_id id) const {
+    return nodes_[id].kind == node_kind::router;
+  }
+  // Directed port from -> to; throws if absent.
+  [[nodiscard]] port& port_between(node_id from, node_id to);
+  [[nodiscard]] const std::vector<std::unique_ptr<port>>& ports() const {
+    return ports_;
+  }
+  // Router attached to a host.
+  [[nodiscard]] node_id attachment(node_id host) const;
+
+  // Router-level shortest path between the routers serving two hosts
+  // (weight = propagation delay + 1ps per hop; deterministic tie-breaks).
+  [[nodiscard]] const std::vector<node_id>& route(node_id src_host,
+                                                  node_id dst_host);
+
+  // Minimum remaining network traversal time for p from path[from_hop] to
+  // egress: per-hop transmission plus inter-router propagation (Appendix A's
+  // tmin; excludes the egress link's propagation, matching o(p)).
+  [[nodiscard]] sim::time_ps tmin(const packet& p, std::size_t from_hop) const;
+  [[nodiscard]] sim::time_ps tmin_from_ingress(const packet& p) const {
+    return tmin(p, 0);
+  }
+
+  network_hooks& hooks() noexcept { return hooks_; }
+  [[nodiscard]] const network_stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] sim::simulator& sim() noexcept { return sim_; }
+
+  // Registers a per-host packet consumer (transport endpoints). Without a
+  // handler delivered packets are counted and destroyed.
+  void set_host_handler(node_id host, std::function<void(packet_ptr)> h);
+
+ private:
+  struct link_spec {
+    node_id a;
+    node_id b;
+    sim::bits_per_sec rate;
+    sim::time_ps delay;
+  };
+
+  void deliver(packet_ptr p, node_id at);
+  void post(packet_ptr p, node_id to, sim::time_ps at);
+  [[nodiscard]] const port* find_port(node_id from, node_id to) const;
+
+  sim::simulator& sim_;
+  std::vector<node> nodes_;
+  std::vector<link_spec> links_;
+  std::vector<std::unique_ptr<port>> ports_;
+  // per-node outgoing ports: (to, index into ports_)
+  std::vector<std::vector<std::pair<node_id, std::int32_t>>> out_ports_;
+  scheduler_factory factory_;
+  std::int64_t buffer_bytes_ = 0;
+  bool preemption_ = false;
+  bool built_ = false;
+
+  std::unordered_map<std::uint64_t, std::vector<node_id>> route_cache_;
+  std::vector<std::vector<routing_edge>> routing_graph_;
+  std::vector<std::function<void(packet_ptr)>> host_handlers_;
+
+  // in-flight packet arena (packets on the wire between ports)
+  std::vector<packet_ptr> in_flight_;
+  std::vector<std::size_t> free_slots_;
+
+  network_hooks hooks_;
+  network_stats stats_;
+};
+
+}  // namespace ups::net

@@ -1,0 +1,17 @@
+#pragma once
+
+#include <string>
+
+#include "net/packet.h"
+
+namespace ups::net {
+
+enum class node_kind : std::uint8_t { host, router };
+
+struct node {
+  node_id id = kInvalidNode;
+  node_kind kind = node_kind::router;
+  std::string name;
+};
+
+}  // namespace ups::net

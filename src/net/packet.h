@@ -1,0 +1,73 @@
+// Packet model with dynamic packet state (§2.1 of the paper).
+//
+// The "scheduling header" block mirrors what the paper allows a UPS to carry:
+// a slack value rewritten hop by hop (LSTF), a static priority (simple
+// priority / SJF / SRPT), a static deadline (EDF), cumulative queueing
+// (FIFO+), and — for the omniscient-initialization existence proof — a
+// per-hop vector of target departure times. Bookkeeping fields below the
+// header are measurement-only and are never consulted by schedulers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace ups::net {
+
+using node_id = std::int32_t;
+inline constexpr node_id kInvalidNode = -1;
+
+enum class packet_kind : std::uint8_t { data, ack };
+
+struct packet {
+  // --- identity ---
+  std::uint64_t id = 0;
+  std::uint64_t flow_id = 0;
+  std::uint32_t seq_in_flow = 0;
+  std::uint32_t size_bytes = 0;
+  packet_kind kind = packet_kind::data;
+
+  node_id src_host = kInvalidNode;
+  node_id dst_host = kInvalidNode;
+
+  // Router-level path: ingress router .. egress router. `hop` is the index
+  // of the next router the packet has yet to be delivered to.
+  std::vector<node_id> path;
+  std::size_t hop = 0;
+
+  // --- scheduling header (dynamic packet state) ---
+  sim::time_ps slack = 0;            // LSTF: remaining slack
+  std::int64_t priority = 0;         // static priority / SJF / SRPT rank
+  sim::time_ps deadline = 0;         // EDF: o(p), never rewritten
+  sim::time_ps fifo_plus_wait = 0;   // FIFO+: cumulative queueing delay
+  std::vector<sim::time_ps> hop_deadlines;  // omniscient per-hop targets
+  std::uint64_t flow_size_bytes = 0;        // stamped at ingress (SJF)
+  std::uint64_t remaining_flow_bytes = 0;   // stamped at ingress (SRPT)
+
+  // --- transport header (simplified TCP) ---
+  std::uint64_t tseq = 0;  // first byte offset carried by this segment
+  std::uint64_t tack = 0;  // cumulative ack (next expected byte)
+
+  // --- per-port scratch used by schedulers and the transmitter ---
+  std::int64_t sched_key = 0;        // rank cached by the port's scheduler
+  std::int32_t sched_key_port = -1;  // port that owns sched_key
+  sim::time_ps tx_remaining = -1;    // <0: not in service at current port
+  sim::time_ps port_enqueue_time = 0;
+
+  // --- measurement bookkeeping (not part of any header) ---
+  sim::time_ps created_at = 0;      // handed to the source NIC
+  sim::time_ps ingress_time = -1;   // last-bit arrival at ingress router, i(p)
+  sim::time_ps queueing_delay = 0;  // total waiting across all ports
+  std::vector<sim::time_ps> hop_departs;  // last-bit exit per router
+  bool record_hops = false;
+
+  [[nodiscard]] bool at_last_router() const noexcept {
+    return hop + 1 >= path.size();
+  }
+};
+
+using packet_ptr = std::unique_ptr<packet>;
+
+}  // namespace ups::net

@@ -1,0 +1,120 @@
+#include "net/port.h"
+
+#include <cassert>
+#include <utility>
+
+#include "net/network.h"
+
+namespace ups::net {
+
+port::port(network& net, sim::simulator& sim, std::int32_t id, node_id from,
+           node_id to, sim::bits_per_sec rate, sim::time_ps prop_delay,
+           std::unique_ptr<scheduler> sched, std::int64_t buffer_bytes)
+    : net_(net),
+      sim_(sim),
+      id_(id),
+      from_(from),
+      to_(to),
+      rate_(rate),
+      delay_(prop_delay),
+      sched_(std::move(sched)),
+      buffer_bytes_(buffer_bytes) {}
+
+void port::receive(packet_ptr p) {
+  const sim::time_ps now = sim_.now();
+  p->port_enqueue_time = now;
+  // Infinitely fast ports (the theory gadgets' "white" routers) forward
+  // synchronously: zero transmission time means they can never queue, and
+  // cutting through inline keeps same-instant arrivals visible to the next
+  // congested port before its (late-phase) service decision runs.
+  if (rate_ == sim::kInfiniteRate && !busy() && sched_->empty()) {
+    ++stats_.packets_sent;
+    stats_.bytes_sent += p->size_bytes;
+    if (p->record_hops && net_.is_router(from_)) {
+      p->hop_departs.push_back(now);
+    }
+    net_.transmitted(std::move(p), *this, now);
+    return;
+  }
+  if (buffer_bytes_ > 0 &&
+      static_cast<std::int64_t>(sched_->bytes()) + p->size_bytes >
+          buffer_bytes_) {
+    packet_ptr victim = sched_->evict_for(*p, now);
+    if (victim == nullptr) {
+      drop(std::move(p));
+      return;
+    }
+    drop(std::move(victim));
+  }
+  sched_->enqueue(std::move(p), now);
+  if (!busy()) {
+    schedule_start();
+  } else if (preemption_ && sched_->supports_preemption()) {
+    maybe_preempt();
+  }
+}
+
+void port::schedule_start() {
+  if (pending_start_ || busy()) return;
+  pending_start_ = true;
+  sim_.schedule_late(sim_.now(), [this] {
+    pending_start_ = false;
+    if (!busy()) start_next();
+  });
+}
+
+void port::start_next() {
+  packet_ptr p = sched_->dequeue(sim_.now());
+  if (p == nullptr) return;
+  if (p->tx_remaining < 0) p->tx_remaining = transmission_time(p->size_bytes);
+  current_rank_ = p->sched_key;
+  tx_started_ = sim_.now();
+  current_ = std::move(p);
+  completion_ =
+      sim_.schedule_in(current_->tx_remaining, [this] { on_complete(); });
+}
+
+void port::maybe_preempt() {
+  assert(current_ != nullptr);
+  const auto rank = sched_->peek_rank();
+  if (!rank.has_value() || *rank >= current_rank_) return;
+  const sim::time_ps elapsed = sim_.now() - tx_started_;
+  const sim::time_ps remaining = current_->tx_remaining - elapsed;
+  if (remaining <= 0) return;  // finishing at this instant anyway
+  sim_.cancel(completion_);
+  current_->tx_remaining = remaining;
+  ++stats_.preemptions;
+  // Re-enqueue the paused packet; its per-hop rank is preserved because the
+  // scheduler caches it in sched_key / sched_key_port.
+  sched_->enqueue(std::move(current_), sim_.now());
+  schedule_start();
+}
+
+void port::on_complete() {
+  assert(current_ != nullptr);
+  packet_ptr p = std::move(current_);
+  const sim::time_ps now = sim_.now();
+  // Waiting = total residence at this port minus pure transmission time;
+  // correct under preemption because pauses count as waiting.
+  const sim::time_ps waited =
+      (now - p->port_enqueue_time) - transmission_time(p->size_bytes);
+  assert(waited >= 0);
+  p->queueing_delay += waited;
+  p->slack -= waited;
+  p->fifo_plus_wait += waited;
+  p->tx_remaining = -1;
+  ++stats_.packets_sent;
+  stats_.bytes_sent += p->size_bytes;
+  if (p->record_hops && net_.is_router(from_)) {
+    p->hop_departs.push_back(now);
+  }
+  net_.transmitted(std::move(p), *this, now);
+  schedule_start();
+}
+
+void port::drop(packet_ptr p) {
+  ++stats_.packets_dropped;
+  net_.count_drop(*p, from_, sim_.now());
+}
+
+}  // namespace ups::net

@@ -1,0 +1,95 @@
+// Output port: one directed transmitter with a scheduler-managed queue.
+//
+// Implements the paper's store-and-forward model: the next node receives a
+// packet only after its last bit arrives. Slack accounting follows §2.1 —
+// slack is consumed by *waiting* only, never by transmission or propagation —
+// and works uniformly for preemptive and non-preemptive service because the
+// wait is computed as (departure − enqueue) − total transmission time.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "net/packet.h"
+#include "net/scheduler.h"
+#include "sim/simulator.h"
+#include "sim/units.h"
+
+namespace ups::net {
+
+class network;
+
+struct port_stats {
+  std::uint64_t packets_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t packets_dropped = 0;
+  std::uint64_t preemptions = 0;
+};
+
+class port {
+ public:
+  port(network& net, sim::simulator& sim, std::int32_t id, node_id from,
+       node_id to, sim::bits_per_sec rate, sim::time_ps prop_delay,
+       std::unique_ptr<scheduler> sched, std::int64_t buffer_bytes);
+
+  port(const port&) = delete;
+  port& operator=(const port&) = delete;
+
+  // Enqueues a packet for transmission (may drop on buffer overflow or
+  // preempt the packet in service when the scheduler supports it).
+  void receive(packet_ptr p);
+
+  // Enables resume-style preemption (used by preemptive LSTF): the packet in
+  // service is paused, already-transmitted bits are kept, and the remainder
+  // re-contends through the scheduler.
+  void set_preemption(bool on) noexcept { preemption_ = on; }
+
+  [[nodiscard]] std::int32_t id() const noexcept { return id_; }
+  [[nodiscard]] node_id from() const noexcept { return from_; }
+  [[nodiscard]] node_id to() const noexcept { return to_; }
+  [[nodiscard]] sim::bits_per_sec rate() const noexcept { return rate_; }
+  [[nodiscard]] sim::time_ps prop_delay() const noexcept { return delay_; }
+  [[nodiscard]] bool busy() const noexcept { return current_ != nullptr; }
+  [[nodiscard]] const port_stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] scheduler& queue() noexcept { return *sched_; }
+  [[nodiscard]] std::size_t backlog_bytes() const noexcept {
+    return sched_->bytes();
+  }
+
+  [[nodiscard]] sim::time_ps transmission_time(
+      std::int64_t bytes) const noexcept {
+    if (rate_ == sim::kInfiniteRate) return 0;
+    return sim::transmission_time(bytes, rate_);
+  }
+
+ private:
+  // Service decisions are deferred by a zero-delay event so that every
+  // packet arriving at the same instant is visible to the scheduler before
+  // it picks — without this, simultaneous arrivals would be served in event
+  // insertion order regardless of rank.
+  void schedule_start();
+  void start_next();
+  void on_complete();
+  void maybe_preempt();
+  void drop(packet_ptr p);
+
+  network& net_;
+  sim::simulator& sim_;
+  std::int32_t id_;
+  node_id from_;
+  node_id to_;
+  sim::bits_per_sec rate_;
+  sim::time_ps delay_;
+  std::unique_ptr<scheduler> sched_;
+  std::int64_t buffer_bytes_;  // <= 0: unlimited
+  bool preemption_ = false;
+
+  packet_ptr current_;
+  std::int64_t current_rank_ = 0;
+  sim::time_ps tx_started_ = 0;
+  sim::simulator::handle completion_{};
+  bool pending_start_ = false;
+  port_stats stats_;
+};
+
+}  // namespace ups::net

@@ -1,0 +1,44 @@
+#include "net/routing.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace ups::net {
+
+std::vector<node_id> shortest_path(const routing_graph& g, node_id s,
+                                   node_id t) {
+  const auto n = static_cast<node_id>(g.size());
+  constexpr sim::time_ps inf = std::numeric_limits<sim::time_ps>::max();
+  std::vector<sim::time_ps> dist(n, inf);
+  std::vector<node_id> prev(n, kInvalidNode);
+  using item = std::pair<sim::time_ps, node_id>;
+  std::priority_queue<item, std::vector<item>, std::greater<>> pq;
+  dist[s] = 0;
+  pq.emplace(0, s);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;
+    for (const auto& e : g[u]) {
+      const sim::time_ps nd = d + e.weight;
+      if (nd < dist[e.to] ||
+          (nd == dist[e.to] && prev[e.to] != kInvalidNode && u < prev[e.to])) {
+        dist[e.to] = nd;
+        prev[e.to] = u;
+        pq.emplace(nd, e.to);
+      }
+    }
+  }
+  if (dist[t] == inf) return {};
+  std::vector<node_id> path;
+  for (node_id v = t; v != kInvalidNode; v = prev[v]) {
+    path.push_back(v);
+    if (v == s) break;
+  }
+  std::reverse(path.begin(), path.end());
+  if (path.front() != s) return {};
+  return path;
+}
+
+}  // namespace ups::net

@@ -1,0 +1,24 @@
+// Deterministic Dijkstra shortest paths over the router graph.
+#pragma once
+
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/time.h"
+
+namespace ups::net {
+
+struct routing_edge {
+  node_id to;
+  sim::time_ps weight;
+};
+
+using routing_graph = std::vector<std::vector<routing_edge>>;
+
+// Shortest path from s to t (inclusive of both). Ties are broken toward the
+// smaller predecessor id so routes are deterministic across runs.
+// Returns an empty vector when t is unreachable.
+[[nodiscard]] std::vector<node_id> shortest_path(const routing_graph& g,
+                                                 node_id s, node_id t);
+
+}  // namespace ups::net

@@ -1,0 +1,25 @@
+#include "net/trace.h"
+
+namespace ups::net {
+
+trace_recorder::trace_recorder(network& net, bool with_hop_times)
+    : with_hop_times_(with_hop_times) {
+  net.hooks().on_egress = [this](const packet& p, sim::time_ps now) {
+    packet_record r;
+    r.id = p.id;
+    r.flow_id = p.flow_id;
+    r.seq_in_flow = p.seq_in_flow;
+    r.size_bytes = p.size_bytes;
+    r.src_host = p.src_host;
+    r.dst_host = p.dst_host;
+    r.path = p.path;
+    r.ingress_time = p.ingress_time;
+    r.egress_time = now;
+    r.queueing_delay = p.queueing_delay;
+    r.flow_size_bytes = p.flow_size_bytes;
+    if (with_hop_times_) r.hop_departs = p.hop_departs;
+    result_.packets.push_back(std::move(r));
+  };
+}
+
+}  // namespace ups::net

@@ -1,0 +1,55 @@
+// Schedule traces: the record side of the paper's replay framework.
+//
+// A trace is the paper's "schedule": {(path(p), i(p), o(p))} for every
+// packet, plus the measurement extras the evaluation needs (total queueing
+// delay for Figure 1, per-hop departures for omniscient initialization).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.h"
+#include "net/packet.h"
+#include "sim/time.h"
+
+namespace ups::net {
+
+struct packet_record {
+  std::uint64_t id = 0;
+  std::uint64_t flow_id = 0;
+  std::uint32_t seq_in_flow = 0;
+  std::uint32_t size_bytes = 0;
+  node_id src_host = kInvalidNode;
+  node_id dst_host = kInvalidNode;
+  std::vector<node_id> path;
+  sim::time_ps ingress_time = -1;  // i(p)
+  sim::time_ps egress_time = -1;   // o(p)
+  sim::time_ps queueing_delay = 0;
+  std::uint64_t flow_size_bytes = 0;
+  std::vector<sim::time_ps> hop_departs;  // per-router last-bit exits
+};
+
+struct trace {
+  std::vector<packet_record> packets;
+};
+
+// Hooks a network's egress callback and accumulates one record per packet.
+// Keep the recorder alive for the duration of the simulation.
+class trace_recorder {
+ public:
+  // with_hop_times: also capture per-router departure times (needed only by
+  // omniscient-initialization experiments; costs memory).
+  explicit trace_recorder(network& net, bool with_hop_times = false);
+
+  [[nodiscard]] trace take() { return std::move(result_); }
+  [[nodiscard]] const trace& current() const noexcept { return result_; }
+  [[nodiscard]] bool with_hop_times() const noexcept {
+    return with_hop_times_;
+  }
+
+ private:
+  bool with_hop_times_;
+  trace result_;
+};
+
+}  // namespace ups::net

@@ -1,0 +1,67 @@
+#include "net/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ups::net {
+
+namespace {
+constexpr const char* kMagic = "ups-trace v1";
+}
+
+void write_trace(std::ostream& os, const trace& t) {
+  os << kMagic << "\n" << t.packets.size() << "\n";
+  for (const auto& r : t.packets) {
+    os << r.id << ' ' << r.flow_id << ' ' << r.seq_in_flow << ' '
+       << r.size_bytes << ' ' << r.src_host << ' ' << r.dst_host << ' '
+       << r.ingress_time << ' ' << r.egress_time << ' ' << r.queueing_delay
+       << ' ' << r.flow_size_bytes << ' ' << r.path.size();
+    for (const auto n : r.path) os << ' ' << n;
+    os << ' ' << r.hop_departs.size();
+    for (const auto d : r.hop_departs) os << ' ' << d;
+    os << '\n';
+  }
+}
+
+trace read_trace(std::istream& is) {
+  std::string magic;
+  std::getline(is, magic);
+  if (magic != kMagic) {
+    throw std::runtime_error("trace: bad magic line '" + magic + "'");
+  }
+  std::size_t n = 0;
+  is >> n;
+  trace t;
+  t.packets.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    packet_record r;
+    std::size_t path_len = 0;
+    is >> r.id >> r.flow_id >> r.seq_in_flow >> r.size_bytes >> r.src_host >>
+        r.dst_host >> r.ingress_time >> r.egress_time >> r.queueing_delay >>
+        r.flow_size_bytes >> path_len;
+    r.path.resize(path_len);
+    for (auto& h : r.path) is >> h;
+    std::size_t departs = 0;
+    is >> departs;
+    r.hop_departs.resize(departs);
+    for (auto& d : r.hop_departs) is >> d;
+    if (!is) throw std::runtime_error("trace: truncated record");
+    t.packets.push_back(std::move(r));
+  }
+  return t;
+}
+
+void save_trace(const std::string& path, const trace& t) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("trace: cannot open " + path);
+  write_trace(os, t);
+}
+
+trace load_trace(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("trace: cannot open " + path);
+  return read_trace(is);
+}
+
+}  // namespace ups::net

@@ -1,0 +1,24 @@
+// Schedule trace serialization.
+//
+// Text format, one packet per line, so recorded schedules can be saved,
+// diffed, and replayed across runs or shipped to other tools:
+//
+//   ups-trace v1
+//   <id> <flow> <seq> <size> <src> <dst> <i(p)> <o(p)> <qdelay>
+//       <flowsize> <npath> <hop0> ... <ndeparts> <d0> ...
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "net/trace.h"
+
+namespace ups::net {
+
+void write_trace(std::ostream& os, const trace& t);
+[[nodiscard]] trace read_trace(std::istream& is);
+
+void save_trace(const std::string& path, const trace& t);
+[[nodiscard]] trace load_trace(const std::string& path);
+
+}  // namespace ups::net

@@ -1,0 +1,85 @@
+// Deficit Round Robin (Shreedhar & Varghese [27]): O(1) approximate fair
+// queueing. Included as the second fairness baseline alongside virtual-time
+// FQ; the fairness experiments can swap it in via the registry.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "net/scheduler.h"
+
+namespace ups::sched {
+
+class drr final : public net::scheduler {
+ public:
+  explicit drr(std::int64_t quantum_bytes = 1514)
+      : quantum_(quantum_bytes) {}
+
+  void enqueue(net::packet_ptr p, sim::time_ps /*now*/) override {
+    const std::uint64_t flow = p->flow_id;
+    auto& st = flows_[flow];
+    bytes_ += p->size_bytes;
+    ++packets_;
+    st.q.push_back(std::move(p));
+    if (!st.active) {
+      st.active = true;
+      st.deficit = 0;
+      ring_.push_back(flow);
+    }
+  }
+
+  net::packet_ptr dequeue(sim::time_ps /*now*/) override {
+    while (!ring_.empty()) {
+      const std::uint64_t flow = ring_.front();
+      auto& st = flows_[flow];
+      if (st.q.empty()) {
+        st.active = false;
+        st.deficit = 0;
+        ring_.pop_front();
+        continue;
+      }
+      const auto head_size =
+          static_cast<std::int64_t>(st.q.front()->size_bytes);
+      if (st.deficit < head_size) {
+        st.deficit += quantum_;
+        ring_.pop_front();
+        ring_.push_back(flow);
+        continue;
+      }
+      st.deficit -= head_size;
+      net::packet_ptr p = std::move(st.q.front());
+      st.q.pop_front();
+      bytes_ -= p->size_bytes;
+      --packets_;
+      if (st.q.empty()) {
+        st.active = false;
+        st.deficit = 0;
+        ring_.pop_front();
+      }
+      return p;
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] bool empty() const noexcept override { return packets_ == 0; }
+  [[nodiscard]] std::size_t packets() const noexcept override {
+    return packets_;
+  }
+  [[nodiscard]] std::size_t bytes() const noexcept override { return bytes_; }
+
+ private:
+  struct flow_state {
+    std::deque<net::packet_ptr> q;
+    std::int64_t deficit = 0;
+    bool active = false;
+  };
+
+  std::int64_t quantum_;
+  std::size_t packets_ = 0;
+  std::size_t bytes_ = 0;
+  std::unordered_map<std::uint64_t, flow_state> flows_;
+  std::deque<std::uint64_t> ring_;
+};
+
+}  // namespace ups::sched

@@ -1,0 +1,26 @@
+// FIFO+ (Clark, Shenker, Zhang 1992): packets are ordered by the arrival
+// time they would have had if they had seen no queueing at previous hops,
+// i.e. packets that already waited longer upstream are served earlier.
+//
+// §3.2 of the paper observes this is exactly LSTF with a uniform initial
+// slack; tests/test_lstf.cpp checks that equivalence.
+#pragma once
+
+#include "sched/rank_scheduler.h"
+
+namespace ups::sched {
+
+class fifo_plus final : public rank_scheduler {
+ public:
+  explicit fifo_plus(std::int32_t port_id = -1,
+                     bool drop_highest_rank = false)
+      : rank_scheduler(port_id, drop_highest_rank) {}
+
+ protected:
+  [[nodiscard]] std::int64_t rank_of(const net::packet& p,
+                                     sim::time_ps now) const override {
+    return now - p.fifo_plus_wait;
+  }
+};
+
+}  // namespace ups::sched

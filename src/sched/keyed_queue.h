@@ -1,0 +1,62 @@
+// Ordered packet container shared by all rank-based schedulers.
+//
+// Packets are kept sorted by (key, arrival sequence): lower key first, FCFS
+// among equal keys. Supports O(log n) min/max removal, which rank schedulers
+// need for service (min) and for highest-rank eviction at full buffers (max).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "net/packet.h"
+
+namespace ups::sched {
+
+class keyed_queue {
+ public:
+  void insert(std::int64_t key, net::packet_ptr p) {
+    bytes_ += p->size_bytes;
+    items_.emplace(std::make_pair(key, next_uid_++), std::move(p));
+  }
+
+  [[nodiscard]] net::packet_ptr pop_min() {
+    if (items_.empty()) return nullptr;
+    auto it = items_.begin();
+    net::packet_ptr p = std::move(it->second);
+    bytes_ -= p->size_bytes;
+    items_.erase(it);
+    return p;
+  }
+
+  [[nodiscard]] net::packet_ptr pop_max() {
+    if (items_.empty()) return nullptr;
+    auto it = std::prev(items_.end());
+    net::packet_ptr p = std::move(it->second);
+    bytes_ -= p->size_bytes;
+    items_.erase(it);
+    return p;
+  }
+
+  [[nodiscard]] std::optional<std::int64_t> min_key() const {
+    if (items_.empty()) return std::nullopt;
+    return items_.begin()->first.first;
+  }
+
+  [[nodiscard]] std::optional<std::int64_t> max_key() const {
+    if (items_.empty()) return std::nullopt;
+    return std::prev(items_.end())->first.first;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+  [[nodiscard]] std::size_t bytes() const noexcept { return bytes_; }
+
+ private:
+  std::map<std::pair<std::int64_t, std::uint64_t>, net::packet_ptr> items_;
+  std::uint64_t next_uid_ = 0;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace ups::sched

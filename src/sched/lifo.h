@@ -1,0 +1,37 @@
+// Last-in first-out: used by the paper as a hard-to-replay original schedule
+// (it produces a strongly skewed slack distribution).
+#pragma once
+
+#include <vector>
+
+#include "net/scheduler.h"
+
+namespace ups::sched {
+
+class lifo final : public net::scheduler {
+ public:
+  void enqueue(net::packet_ptr p, sim::time_ps /*now*/) override {
+    bytes_ += p->size_bytes;
+    q_.push_back(std::move(p));
+  }
+
+  net::packet_ptr dequeue(sim::time_ps /*now*/) override {
+    if (q_.empty()) return nullptr;
+    net::packet_ptr p = std::move(q_.back());
+    q_.pop_back();
+    bytes_ -= p->size_bytes;
+    return p;
+  }
+
+  [[nodiscard]] bool empty() const noexcept override { return q_.empty(); }
+  [[nodiscard]] std::size_t packets() const noexcept override {
+    return q_.size();
+  }
+  [[nodiscard]] std::size_t bytes() const noexcept override { return bytes_; }
+
+ private:
+  std::vector<net::packet_ptr> q_;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace ups::sched

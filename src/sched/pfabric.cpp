@@ -1,0 +1,47 @@
+#include "sched/pfabric.h"
+
+#include <cassert>
+#include <utility>
+
+namespace ups::sched {
+
+void pfabric::enqueue(net::packet_ptr p, sim::time_ps /*now*/) {
+  const std::uint64_t uid = next_uid_++;
+  const std::int64_t rank = rank_of(*p);
+  const std::uint64_t flow = p->flow_id;
+  bytes_ += p->size_bytes;
+  rank_index_.emplace(std::make_pair(rank, uid), std::make_pair(flow, uid));
+  flows_[flow].emplace(uid, entry{std::move(p), rank});
+}
+
+net::packet_ptr pfabric::dequeue(sim::time_ps /*now*/) {
+  if (rank_index_.empty()) return nullptr;
+  // Highest-priority packet selects the flow; serve that flow's earliest
+  // arrived packet (starvation prevention).
+  const auto flow = rank_index_.begin()->second.first;
+  auto fit = flows_.find(flow);
+  assert(fit != flows_.end() && !fit->second.empty());
+  const std::uint64_t uid = fit->second.begin()->first;
+  return remove(flow, uid);
+}
+
+net::packet_ptr pfabric::remove(std::uint64_t flow, std::uint64_t uid) {
+  auto fit = flows_.find(flow);
+  auto eit = fit->second.find(uid);
+  net::packet_ptr p = std::move(eit->second.p);
+  rank_index_.erase(std::make_pair(eit->second.rank, uid));
+  fit->second.erase(eit);
+  if (fit->second.empty()) flows_.erase(fit);
+  bytes_ -= p->size_bytes;
+  return p;
+}
+
+net::packet_ptr pfabric::evict_for(const net::packet& incoming,
+                                   sim::time_ps /*now*/) {
+  if (rank_index_.empty()) return nullptr;
+  const auto worst = std::prev(rank_index_.end());
+  if (rank_of(incoming) >= worst->first.first) return nullptr;
+  return remove(worst->second.first, worst->second.second);
+}
+
+}  // namespace ups::sched

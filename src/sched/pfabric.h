@@ -1,0 +1,63 @@
+// pFabric-style priority scheduling with starvation prevention [3].
+//
+// Footnote 8 of the paper: "the router always schedules the earliest
+// arriving packet of the flow which contains the highest priority packet."
+// In SRPT mode the rank is the remaining flow size stamped at emission; in
+// SJF mode it is the total flow size. On overflow the worst-ranked packet
+// is dropped (pFabric's drop policy).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <unordered_map>
+
+#include "net/scheduler.h"
+
+namespace ups::sched {
+
+enum class pfabric_mode : std::uint8_t { srpt, sjf };
+
+class pfabric final : public net::scheduler {
+ public:
+  explicit pfabric(pfabric_mode mode) : mode_(mode) {}
+
+  void enqueue(net::packet_ptr p, sim::time_ps now) override;
+  net::packet_ptr dequeue(sim::time_ps now) override;
+
+  [[nodiscard]] bool empty() const noexcept override {
+    return rank_index_.empty();
+  }
+  [[nodiscard]] std::size_t packets() const noexcept override {
+    return rank_index_.size();
+  }
+  [[nodiscard]] std::size_t bytes() const noexcept override { return bytes_; }
+
+  net::packet_ptr evict_for(const net::packet& incoming,
+                            sim::time_ps now) override;
+
+ private:
+  [[nodiscard]] std::int64_t rank_of(const net::packet& p) const {
+    return static_cast<std::int64_t>(mode_ == pfabric_mode::srpt
+                                         ? p.remaining_flow_bytes
+                                         : p.flow_size_bytes);
+  }
+  net::packet_ptr remove(std::uint64_t flow, std::uint64_t uid);
+
+  pfabric_mode mode_;
+  std::uint64_t next_uid_ = 0;
+  std::size_t bytes_ = 0;
+  // Global rank index: (rank, uid) -> (flow, uid); min entry identifies the
+  // highest-priority packet, whose *flow* is then served in arrival order.
+  std::map<std::pair<std::int64_t, std::uint64_t>,
+           std::pair<std::uint64_t, std::uint64_t>>
+      rank_index_;
+  struct entry {
+    net::packet_ptr p;
+    std::int64_t rank;
+  };
+  // Per-flow packets in arrival order (uid ascending).
+  std::unordered_map<std::uint64_t, std::map<std::uint64_t, entry>> flows_;
+};
+
+}  // namespace ups::sched

@@ -1,0 +1,47 @@
+// Random scheduler: serves a uniformly random queued packet.
+//
+// The paper's default "hard" original schedule (§2.3): its output is an
+// arbitrary interleaving, so replaying it exercises LSTF with no structural
+// help from the original algorithm.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "net/scheduler.h"
+#include "sim/rng.h"
+
+namespace ups::sched {
+
+class random_order final : public net::scheduler {
+ public:
+  explicit random_order(sim::rng rng) : rng_(std::move(rng)) {}
+
+  void enqueue(net::packet_ptr p, sim::time_ps /*now*/) override {
+    bytes_ += p->size_bytes;
+    q_.push_back(std::move(p));
+  }
+
+  net::packet_ptr dequeue(sim::time_ps /*now*/) override {
+    if (q_.empty()) return nullptr;
+    const std::size_t i = rng_.next_below(q_.size());
+    std::swap(q_[i], q_.back());
+    net::packet_ptr p = std::move(q_.back());
+    q_.pop_back();
+    bytes_ -= p->size_bytes;
+    return p;
+  }
+
+  [[nodiscard]] bool empty() const noexcept override { return q_.empty(); }
+  [[nodiscard]] std::size_t packets() const noexcept override {
+    return q_.size();
+  }
+  [[nodiscard]] std::size_t bytes() const noexcept override { return bytes_; }
+
+ private:
+  sim::rng rng_;
+  std::vector<net::packet_ptr> q_;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace ups::sched

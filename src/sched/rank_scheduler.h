@@ -1,0 +1,68 @@
+// Base for schedulers that serve the queued packet with the smallest rank.
+//
+// The rank is computed once on arrival at the port and cached in
+// packet::sched_key so that (a) the owning port can compare the in-service
+// packet against newcomers for preemption and (b) a packet re-enqueued after
+// preemption keeps the rank it was assigned when it first reached this port.
+#pragma once
+
+#include <cstdint>
+
+#include "net/scheduler.h"
+#include "sched/keyed_queue.h"
+
+namespace ups::sched {
+
+class rank_scheduler : public net::scheduler {
+ public:
+  // drop_highest_rank: on buffer overflow evict the worst-ranked packet
+  // (the paper's LSTF drop policy drops the highest slack, §3).
+  explicit rank_scheduler(std::int32_t port_id = -1,
+                          bool drop_highest_rank = false)
+      : port_id_(port_id), drop_highest_rank_(drop_highest_rank) {}
+
+  void enqueue(net::packet_ptr p, sim::time_ps now) final {
+    const std::int64_t key = key_for(*p, now);
+    p->sched_key = key;
+    p->sched_key_port = port_id_;
+    q_.insert(key, std::move(p));
+  }
+
+  net::packet_ptr dequeue(sim::time_ps /*now*/) final { return q_.pop_min(); }
+
+  [[nodiscard]] bool empty() const noexcept final { return q_.empty(); }
+  [[nodiscard]] std::size_t packets() const noexcept final {
+    return q_.size();
+  }
+  [[nodiscard]] std::size_t bytes() const noexcept final { return q_.bytes(); }
+
+  net::packet_ptr evict_for(const net::packet& incoming,
+                            sim::time_ps now) final {
+    if (!drop_highest_rank_ || q_.empty()) return nullptr;
+    const std::int64_t incoming_key = key_for(incoming, now);
+    if (incoming_key >= *q_.max_key()) return nullptr;  // incoming is worst
+    return q_.pop_max();
+  }
+
+  [[nodiscard]] std::optional<std::int64_t> peek_rank() const final {
+    return q_.min_key();
+  }
+
+ protected:
+  // Rank of a packet on arrival at this port; lower = served earlier.
+  [[nodiscard]] virtual std::int64_t rank_of(const net::packet& p,
+                                             sim::time_ps now) const = 0;
+
+ private:
+  [[nodiscard]] std::int64_t key_for(const net::packet& p,
+                                     sim::time_ps now) const {
+    if (port_id_ >= 0 && p.sched_key_port == port_id_) return p.sched_key;
+    return rank_of(p, now);
+  }
+
+  std::int32_t port_id_;
+  bool drop_highest_rank_;
+  keyed_queue q_;
+};
+
+}  // namespace ups::sched

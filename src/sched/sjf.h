@@ -1,0 +1,22 @@
+// Shortest Job First: serves the packet whose flow has the smallest total
+// size (the size is stamped into the header at the ingress, as the paper's
+// "SJF using priorities" does).
+#pragma once
+
+#include "sched/rank_scheduler.h"
+
+namespace ups::sched {
+
+class sjf final : public rank_scheduler {
+ public:
+  explicit sjf(std::int32_t port_id = -1, bool drop_highest_rank = false)
+      : rank_scheduler(port_id, drop_highest_rank) {}
+
+ protected:
+  [[nodiscard]] std::int64_t rank_of(const net::packet& p,
+                                     sim::time_ps /*now*/) const override {
+    return static_cast<std::int64_t>(p.flow_size_bytes);
+  }
+};
+
+}  // namespace ups::sched

@@ -1,0 +1,24 @@
+// Simple (static) priority scheduling: the header carries a priority value
+// assigned at the ingress and routers serve the smallest value first. This
+// is the paper's "natural candidate" near-UPS that LSTF is proven to beat
+// (Appendix F), and the comparison point of §2.3(7) with priority = o(p).
+#pragma once
+
+#include "sched/rank_scheduler.h"
+
+namespace ups::sched {
+
+class static_priority final : public rank_scheduler {
+ public:
+  explicit static_priority(std::int32_t port_id = -1,
+                           bool drop_highest_rank = false)
+      : rank_scheduler(port_id, drop_highest_rank) {}
+
+ protected:
+  [[nodiscard]] std::int64_t rank_of(const net::packet& p,
+                                     sim::time_ps /*now*/) const override {
+    return p.priority;
+  }
+};
+
+}  // namespace ups::sched

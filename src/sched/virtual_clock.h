@@ -1,0 +1,72 @@
+// Virtual Clock (Zhang [32]): per-flow virtual transmission clocks.
+//
+// Each flow's clock advances by L/r on every packet (r = the flow's
+// allocated rate) and packets are served in virtual-clock order. This is
+// the algorithm that inspired the paper's §3.3 fairness slack assignment —
+// having it as a reference scheduler lets tests check that LSTF with the
+// virtual-clock slack initialization matches real Virtual Clock service
+// order on a single router.
+#pragma once
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "net/scheduler.h"
+#include "sched/keyed_queue.h"
+#include "sim/units.h"
+
+namespace ups::sched {
+
+class virtual_clock final : public net::scheduler {
+ public:
+  // `default_rate` is each flow's allocated rate unless overridden.
+  explicit virtual_clock(sim::bits_per_sec default_rate)
+      : default_rate_(default_rate) {}
+
+  void set_flow_rate(std::uint64_t flow, sim::bits_per_sec rate) {
+    flow_rate_[flow] = rate;
+  }
+
+  void enqueue(net::packet_ptr p, sim::time_ps now) override {
+    const std::uint64_t flow = p->flow_id;
+    const sim::bits_per_sec rate = rate_of(flow);
+    const sim::time_ps service =
+        sim::transmission_time(p->size_bytes, rate);
+    std::int64_t& clock = clock_[flow];
+    clock = std::max<std::int64_t>(clock, now) + service;
+    p->sched_key = clock;
+    q_.insert(clock, std::move(p));
+  }
+
+  net::packet_ptr dequeue(sim::time_ps /*now*/) override {
+    return q_.pop_min();
+  }
+
+  [[nodiscard]] bool empty() const noexcept override { return q_.empty(); }
+  [[nodiscard]] std::size_t packets() const noexcept override {
+    return q_.size();
+  }
+  [[nodiscard]] std::size_t bytes() const noexcept override {
+    return q_.bytes();
+  }
+
+  // Virtual Clock polices flows that run ahead of their allocation: on
+  // overflow, the packet with the furthest-ahead virtual clock is dropped.
+  net::packet_ptr evict_for(const net::packet& /*incoming*/,
+                            sim::time_ps /*now*/) override {
+    return q_.pop_max();
+  }
+
+ private:
+  [[nodiscard]] sim::bits_per_sec rate_of(std::uint64_t flow) const {
+    const auto it = flow_rate_.find(flow);
+    return it == flow_rate_.end() ? default_rate_ : it->second;
+  }
+
+  sim::bits_per_sec default_rate_;
+  std::unordered_map<std::uint64_t, sim::bits_per_sec> flow_rate_;
+  std::unordered_map<std::uint64_t, std::int64_t> clock_;
+  keyed_queue q_;
+};
+
+}  // namespace ups::sched

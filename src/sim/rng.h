@@ -1,0 +1,63 @@
+// Deterministic random number generation for simulations.
+//
+// Every stochastic component derives its generator from a scenario seed plus
+// a component-specific stream id, so simulations replay byte-identically.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+
+namespace ups::sim {
+
+class rng {
+ public:
+  explicit rng(std::uint64_t seed) : engine_(seed) {}
+
+  // Derive an independent stream (e.g. one per port or per host).
+  [[nodiscard]] static rng derive(std::uint64_t seed, std::uint64_t stream) {
+    return rng(mix(seed, stream));
+  }
+
+  [[nodiscard]] double uniform() { return unit_(engine_); }
+
+  [[nodiscard]] double uniform(double lo, double hi) {
+    return lo + (hi - lo) * unit_(engine_);
+  }
+
+  // Uniform integer in [0, n).
+  [[nodiscard]] std::uint64_t next_below(std::uint64_t n) {
+    return std::uniform_int_distribution<std::uint64_t>(0, n - 1)(engine_);
+  }
+
+  [[nodiscard]] double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  // Bounded Pareto on [lo, hi] with shape alpha (heavy-tailed flow sizes).
+  [[nodiscard]] double bounded_pareto(double alpha, double lo, double hi) {
+    const double u = unit_(engine_);
+    const double la = std::pow(lo, alpha);
+    const double ha = std::pow(hi, alpha);
+    return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+  }
+
+  [[nodiscard]] std::uint64_t raw() { return engine_(); }
+
+  [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+ private:
+  // SplitMix64 step: decorrelates seed/stream pairs.
+  [[nodiscard]] static std::uint64_t mix(std::uint64_t seed,
+                                         std::uint64_t stream) {
+    std::uint64_t z = seed + 0x9E3779B97F4A7C15ull * (stream + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+};
+
+}  // namespace ups::sim

@@ -1,0 +1,58 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace ups::sim {
+
+simulator::handle simulator::schedule_at(time_ps t, callback cb) {
+  if (t < now_) throw std::logic_error("simulator: scheduling into the past");
+  const std::uint64_t id = next_id_++;
+  queue_.push(entry{t, 0, id, std::move(cb)});
+  return handle{id};
+}
+
+simulator::handle simulator::schedule_late(time_ps t, callback cb) {
+  if (t < now_) throw std::logic_error("simulator: scheduling into the past");
+  const std::uint64_t id = next_id_++;
+  queue_.push(entry{t, 1, id, std::move(cb)});
+  return handle{id};
+}
+
+void simulator::cancel(handle h) {
+  if (h.valid()) cancelled_.insert(h.id);
+}
+
+bool simulator::run_next() {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; the callback is moved out via const_cast,
+    // which is safe because the entry is popped before the callback runs.
+    entry e = std::move(const_cast<entry&>(queue_.top()));
+    queue_.pop();
+    if (auto it = cancelled_.find(e.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    assert(e.at >= now_);
+    now_ = e.at;
+    ++processed_;
+    e.cb();
+    return true;
+  }
+  return false;
+}
+
+void simulator::run() {
+  while (run_next()) {
+  }
+}
+
+void simulator::run_until(time_ps t) {
+  while (!queue_.empty() && queue_.top().at <= t) {
+    run_next();
+  }
+  if (now_ < t) now_ = t;
+}
+
+}  // namespace ups::sim

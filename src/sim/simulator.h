@@ -1,0 +1,88 @@
+// Discrete-event simulation kernel.
+//
+// A single-threaded event loop over a min-heap keyed by (time, sequence).
+// Events scheduled for the same instant run in scheduling order, which keeps
+// every simulation deterministic. Cancellation is lazy: a cancelled id is
+// skipped when it reaches the top of the heap.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace ups::sim {
+
+class simulator {
+ public:
+  using callback = std::function<void()>;
+
+  struct handle {
+    std::uint64_t id = 0;
+    [[nodiscard]] bool valid() const noexcept { return id != 0; }
+  };
+
+  simulator() = default;
+  simulator(const simulator&) = delete;
+  simulator& operator=(const simulator&) = delete;
+
+  [[nodiscard]] time_ps now() const noexcept { return now_; }
+
+  handle schedule_at(time_ps t, callback cb);
+
+  handle schedule_in(time_ps dt, callback cb) {
+    return schedule_at(now_ + dt, std::move(cb));
+  }
+
+  // Runs after every normal event with the same timestamp, including normal
+  // events those events schedule for the same instant. Ports use this for
+  // service decisions so that all same-instant packet arrivals — even those
+  // still propagating through zero-delay forwarding chains — are visible to
+  // the scheduler before it picks.
+  handle schedule_late(time_ps t, callback cb);
+
+  // Lazily cancels a pending event. Cancelling an already-run or unknown
+  // handle is a harmless no-op.
+  void cancel(handle h);
+
+  // Runs the next pending event; returns false if the queue is empty.
+  bool run_next();
+
+  // Runs until the event queue drains.
+  void run();
+
+  // Runs events with timestamp <= t, then advances the clock to t.
+  void run_until(time_ps t);
+
+  [[nodiscard]] bool empty() const noexcept { return queue_.size() == cancelled_.size(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::uint64_t events_processed() const noexcept {
+    return processed_;
+  }
+
+ private:
+  struct entry {
+    time_ps at;
+    std::uint8_t phase;  // 0: normal, 1: late (after same-time normals)
+    std::uint64_t id;
+    callback cb;
+  };
+  struct later {
+    bool operator()(const entry& a, const entry& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      if (a.phase != b.phase) return a.phase > b.phase;
+      return a.id > b.id;
+    }
+  };
+
+  time_ps now_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<entry, std::vector<entry>, later> queue_;
+  std::unordered_set<std::uint64_t> cancelled_;
+};
+
+}  // namespace ups::sim

@@ -1,0 +1,40 @@
+// Time representation for the UPS simulator.
+//
+// All simulation time is integer picoseconds. Every bandwidth used by the
+// paper's experiments (multiples of 0.5 Gbps) divides 10^12 evenly, so link
+// transmission times are exact integers and replay comparisons such as
+// o'(p) <= o(p) never need an epsilon.
+#pragma once
+
+#include <cstdint>
+
+namespace ups::sim {
+
+using time_ps = std::int64_t;
+
+inline constexpr time_ps kPicosecond = 1;
+inline constexpr time_ps kNanosecond = 1'000;
+inline constexpr time_ps kMicrosecond = 1'000'000;
+inline constexpr time_ps kMillisecond = 1'000'000'000;
+inline constexpr time_ps kSecond = 1'000'000'000'000;
+
+// A time far beyond any simulated horizon, safe to add small offsets to.
+inline constexpr time_ps kTimeInfinity = INT64_MAX / 4;
+
+[[nodiscard]] constexpr double to_seconds(time_ps t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+[[nodiscard]] constexpr double to_millis(time_ps t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+[[nodiscard]] constexpr double to_micros(time_ps t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kMicrosecond);
+}
+
+[[nodiscard]] constexpr time_ps from_seconds(double s) noexcept {
+  return static_cast<time_ps>(s * static_cast<double>(kSecond));
+}
+
+}  // namespace ups::sim

@@ -1,0 +1,67 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace ups::stats {
+
+void sample_set::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double sample_set::mean() const {
+  if (samples_.empty()) return 0.0;
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+double sample_set::quantile(double q) const {
+  if (samples_.empty()) throw std::logic_error("quantile of empty sample set");
+  ensure_sorted();
+  if (q <= 0.0) return samples_.front();
+  if (q >= 1.0) return samples_.back();
+  const double idx = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const double frac = idx - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+double sample_set::cdf_at(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+std::vector<sample_set::point> sample_set::cdf_points(std::size_t n) const {
+  ensure_sorted();
+  std::vector<point> out;
+  if (samples_.empty() || n == 0) return out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double q = static_cast<double>(i) / static_cast<double>(n - 1);
+    out.push_back(point{quantile(q), q});
+  }
+  return out;
+}
+
+double jain_index(const std::vector<double>& x) {
+  if (x.empty()) return 1.0;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (const double v : x) {
+    sum += v;
+    sq += v * v;
+  }
+  if (sq == 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(x.size()) * sq);
+}
+
+}  // namespace ups::stats

@@ -1,0 +1,51 @@
+// Sample collection with quantiles, CDF/CCDF extraction and moments.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ups::stats {
+
+class sample_set {
+ public:
+  void add(double v) {
+    samples_.push_back(v);
+    sorted_ = false;
+  }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double quantile(double q) const;  // q in [0, 1]
+  [[nodiscard]] double min() const { return quantile(0.0); }
+  [[nodiscard]] double max() const { return quantile(1.0); }
+
+  // Fraction of samples <= x.
+  [[nodiscard]] double cdf_at(double x) const;
+  // Fraction of samples > x (complementary CDF).
+  [[nodiscard]] double ccdf_at(double x) const { return 1.0 - cdf_at(x); }
+
+  // n evenly spaced (value, cumulative fraction) points for plotting.
+  struct point {
+    double value;
+    double fraction;
+  };
+  [[nodiscard]] std::vector<point> cdf_points(std::size_t n) const;
+
+  [[nodiscard]] const std::vector<double>& values() const noexcept {
+    return samples_;
+  }
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+// Jain's fairness index over per-entity allocations:
+// J = (sum x)^2 / (n * sum x^2); 1.0 = perfectly fair.
+[[nodiscard]] double jain_index(const std::vector<double>& x);
+
+}  // namespace ups::stats

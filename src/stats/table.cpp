@@ -1,0 +1,64 @@
+#include "stats/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace ups::stats {
+
+table::table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("table: row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+    for (const auto& row : rows_) width[c] = std::max(width[c], row[c].size());
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << "| " << row[c];
+      for (std::size_t k = row[c].size(); k < width[c] + 1; ++k) os << ' ';
+    }
+    os << "|\n";
+  };
+  print_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << "|";
+    for (std::size_t k = 0; k < width[c] + 2; ++k) os << '-';
+  }
+  os << "|\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string table::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string table::fmt_frac(double v) {
+  if (v == 0.0) return "0.0";
+  if (v < 1e-4) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1e", v);
+    return buf;
+  }
+  return fmt(v, 4);
+}
+
+std::string table::fmt_pct(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, v * 100.0);
+  return buf;
+}
+
+}  // namespace ups::stats

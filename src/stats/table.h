@@ -1,0 +1,28 @@
+// ASCII table/series rendering for the bench binaries: the benches print
+// the same rows and series the paper's tables and figures report.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ups::stats {
+
+class table {
+ public:
+  explicit table(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+  // Formatting helpers.
+  [[nodiscard]] static std::string fmt(double v, int precision = 4);
+  [[nodiscard]] static std::string fmt_frac(double v);  // paper-style 0.0021
+  [[nodiscard]] static std::string fmt_pct(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ups::stats

@@ -1,0 +1,49 @@
+#include "topo/basic.h"
+
+namespace ups::topo {
+
+topology line(std::int32_t n_routers, sim::bits_per_sec rate,
+              sim::time_ps delay, std::int32_t hosts_per_end) {
+  topology t;
+  t.name = "line-" + std::to_string(n_routers);
+  t.routers = n_routers;
+  for (std::int32_t i = 0; i + 1 < n_routers; ++i) {
+    t.core_links.push_back(link_spec{i, i + 1, rate, delay});
+  }
+  for (std::int32_t h = 0; h < hosts_per_end; ++h) {
+    t.hosts.push_back(host_spec{0, rate, delay});
+    t.hosts.push_back(host_spec{n_routers - 1, rate, delay});
+  }
+  return t;
+}
+
+topology dumbbell(std::int32_t hosts_per_side, sim::bits_per_sec access_rate,
+                  sim::bits_per_sec bottleneck_rate, sim::time_ps delay) {
+  topology t;
+  t.name = "dumbbell-" + std::to_string(hosts_per_side);
+  t.routers = 2;
+  t.core_links.push_back(link_spec{0, 1, bottleneck_rate, delay});
+  for (std::int32_t h = 0; h < hosts_per_side; ++h) {
+    t.hosts.push_back(host_spec{0, access_rate, delay});
+  }
+  for (std::int32_t h = 0; h < hosts_per_side; ++h) {
+    t.hosts.push_back(host_spec{1, access_rate, delay});
+  }
+  return t;
+}
+
+topology parking_lot(std::int32_t n_routers, sim::bits_per_sec rate,
+                     sim::time_ps delay) {
+  topology t;
+  t.name = "parking-lot-" + std::to_string(n_routers);
+  t.routers = n_routers;
+  for (std::int32_t i = 0; i + 1 < n_routers; ++i) {
+    t.core_links.push_back(link_spec{i, i + 1, rate, delay});
+  }
+  for (std::int32_t i = 0; i < n_routers; ++i) {
+    t.hosts.push_back(host_spec{i, rate, delay});
+  }
+  return t;
+}
+
+}  // namespace ups::topo

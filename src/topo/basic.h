@@ -1,0 +1,26 @@
+// Micro-topologies for tests and examples.
+#pragma once
+
+#include "topo/topology.h"
+
+namespace ups::topo {
+
+// Two hosts joined by a chain of n routers over `rate` links.
+[[nodiscard]] topology line(std::int32_t n_routers,
+                            sim::bits_per_sec rate = sim::kGbps,
+                            sim::time_ps delay = sim::kMicrosecond,
+                            std::int32_t hosts_per_end = 1);
+
+// Classic dumbbell: n hosts on each side of a single bottleneck link.
+[[nodiscard]] topology dumbbell(std::int32_t hosts_per_side,
+                                sim::bits_per_sec access_rate,
+                                sim::bits_per_sec bottleneck_rate,
+                                sim::time_ps delay = sim::kMicrosecond);
+
+// Parking lot: n routers in a row, one host per router plus one long-path
+// host at the left; classic multi-congestion-point fairness scenario.
+[[nodiscard]] topology parking_lot(std::int32_t n_routers,
+                                   sim::bits_per_sec rate = sim::kGbps,
+                                   sim::time_ps delay = sim::kMicrosecond);
+
+}  // namespace ups::topo

@@ -1,0 +1,78 @@
+#include "topo/fattree.h"
+
+#include <stdexcept>
+
+namespace ups::topo {
+
+topology fattree(const fattree_config& cfg) {
+  const std::int32_t k = cfg.k;
+  if (k < 2 || k % 2 != 0) throw std::invalid_argument("fattree: k must be even");
+  const std::int32_t half = k / 2;
+
+  topology t;
+  t.name = "FatTree-k" + std::to_string(k);
+
+  // Router ids: edge switches first (k*half), then aggregation (k*half),
+  // then core (half*half).
+  const std::int32_t n_edge = k * half;
+  const std::int32_t n_agg = k * half;
+  const std::int32_t n_core = half * half;
+  t.routers = n_edge + n_agg + n_core;
+  auto edge_id = [&](std::int32_t pod, std::int32_t i) { return pod * half + i; };
+  auto agg_id = [&](std::int32_t pod, std::int32_t i) {
+    return n_edge + pod * half + i;
+  };
+  auto core_id = [&](std::int32_t i, std::int32_t j) {
+    return n_edge + n_agg + i * half + j;
+  };
+
+  for (std::int32_t pod = 0; pod < k; ++pod) {
+    for (std::int32_t e = 0; e < half; ++e) {
+      t.router_names.push_back("edge-p" + std::to_string(pod) + "-" +
+                               std::to_string(e));
+    }
+  }
+  t.router_names.resize(n_edge);
+  for (std::int32_t pod = 0; pod < k; ++pod) {
+    for (std::int32_t a = 0; a < half; ++a) {
+      t.router_names.push_back("agg-p" + std::to_string(pod) + "-" +
+                               std::to_string(a));
+    }
+  }
+  for (std::int32_t i = 0; i < half; ++i) {
+    for (std::int32_t j = 0; j < half; ++j) {
+      t.router_names.push_back("core-" + std::to_string(i) + "-" +
+                               std::to_string(j));
+    }
+  }
+
+  // Pod wiring: every edge switch to every aggregation switch in its pod.
+  for (std::int32_t pod = 0; pod < k; ++pod) {
+    for (std::int32_t e = 0; e < half; ++e) {
+      for (std::int32_t a = 0; a < half; ++a) {
+        t.core_links.push_back(link_spec{edge_id(pod, e), agg_id(pod, a),
+                                         cfg.rate, cfg.link_delay});
+      }
+    }
+  }
+  // Core wiring: aggregation switch a of each pod to core row a.
+  for (std::int32_t pod = 0; pod < k; ++pod) {
+    for (std::int32_t a = 0; a < half; ++a) {
+      for (std::int32_t j = 0; j < half; ++j) {
+        t.core_links.push_back(
+            link_spec{agg_id(pod, a), core_id(a, j), cfg.rate, cfg.link_delay});
+      }
+    }
+  }
+  // Hosts: half per edge switch.
+  for (std::int32_t pod = 0; pod < k; ++pod) {
+    for (std::int32_t e = 0; e < half; ++e) {
+      for (std::int32_t h = 0; h < half; ++h) {
+        t.hosts.push_back(host_spec{edge_id(pod, e), cfg.rate, cfg.link_delay});
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace ups::topo

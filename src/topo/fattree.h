@@ -1,0 +1,19 @@
+// Full-bisection-bandwidth k-ary fat-tree (the datacenter topology of [3],
+// used by Table 1's "Datacenter" row): k pods of k/2 edge and k/2
+// aggregation switches, (k/2)^2 core switches, k^3/4 hosts, all links an
+// identical rate (10 Gbps in the paper).
+#pragma once
+
+#include "topo/topology.h"
+
+namespace ups::topo {
+
+struct fattree_config {
+  std::int32_t k = 8;  // must be even; k=8 -> 128 hosts
+  sim::bits_per_sec rate = 10 * sim::kGbps;
+  sim::time_ps link_delay = sim::kMicrosecond;  // short intra-DC wires
+};
+
+[[nodiscard]] topology fattree(const fattree_config& cfg = {});
+
+}  // namespace ups::topo

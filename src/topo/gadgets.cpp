@@ -1,0 +1,192 @@
+#include "topo/gadgets.h"
+
+#include <stdexcept>
+
+namespace ups::topo {
+
+namespace {
+
+constexpr sim::bits_per_sec kT1 = sim::kGbps;      // T = 1 unit
+constexpr sim::bits_per_sec kT05 = 2 * sim::kGbps;  // T = 0.5 units
+constexpr sim::bits_per_sec kT02 = 5 * sim::kGbps;  // T = 0.2 units
+constexpr sim::bits_per_sec kInf = sim::kInfiniteRate;
+
+// Small helper to assemble gadget topologies and prescribed packets.
+struct builder {
+  gadget g;
+
+  std::int32_t router(const std::string& name) {
+    g.topo.router_names.push_back(name);
+    return g.topo.routers++;
+  }
+  void link(std::int32_t a, std::int32_t b, sim::bits_per_sec rate,
+            sim::time_ps delay = 0) {
+    g.topo.core_links.push_back(link_spec{a, b, rate, delay});
+  }
+  std::size_t host(std::int32_t attach) {
+    g.topo.hosts.push_back(host_spec{attach, kInf, 0});
+    return g.topo.hosts.size() - 1;
+  }
+  // Times in gadget units; hop_starts must have one entry per path router.
+  void packet(const std::string& name, std::size_t src, std::size_t dst,
+              std::vector<std::int32_t> path, double inject_units,
+              std::vector<double> start_units, double out_units) {
+    gadget_packet p;
+    p.name = name;
+    p.src_host = src;
+    p.dst_host = dst;
+    p.size_bytes = kGadgetBytes;
+    p.inject_at = static_cast<sim::time_ps>(inject_units * kUnit);
+    for (const double s : start_units) {
+      p.hop_starts.push_back(static_cast<sim::time_ps>(s * kUnit));
+    }
+    p.expected_out = static_cast<sim::time_ps>(out_units * kUnit);
+    if (p.hop_starts.size() != path.size()) {
+      throw std::logic_error("gadget: hop_starts/path size mismatch");
+    }
+    // Router indices equal node ids after populate() because routers are
+    // added before hosts.
+    p.path = std::move(path);
+    g.packets.push_back(std::move(p));
+  }
+};
+
+}  // namespace
+
+gadget fig5_case(int which) {
+  if (which != 1 && which != 2) {
+    throw std::invalid_argument("fig5_case: which must be 1 or 2");
+  }
+  builder b;
+  b.g.topo.name = "Fig5-case" + std::to_string(which);
+  const auto a0 = b.router("a0");
+  const auto a1 = b.router("a1");
+  const auto a2 = b.router("a2");
+  const auto a3 = b.router("a3");
+  const auto a4 = b.router("a4");
+  const auto w0 = b.router("w0");
+  const auto w1 = b.router("w1");
+  const auto w2 = b.router("w2");
+  const auto w3 = b.router("w3");
+  const auto w4 = b.router("w4");
+  // Congestion points have T = 1 on their single outgoing port; the white
+  // splitters fan out instantaneously.
+  b.link(a0, w0, kT1);
+  b.link(w0, a1, kInf);
+  b.link(w0, a3, kInf);
+  b.link(a1, w1, kT1);
+  b.link(w1, a2, kInf);
+  b.link(a2, w2, kT1);
+  b.link(a3, w3, kT1);
+  b.link(w3, a4, kInf);
+  b.link(a4, w4, kT1);
+
+  const auto sa = b.host(a0);
+  const auto sx = b.host(a0);
+  const auto sb = b.host(a1);
+  const auto sc = b.host(a2);
+  const auto sy = b.host(a3);
+  const auto sz = b.host(a4);
+  const auto da = b.host(w2);
+  const auto dx = b.host(w4);
+  const auto db = b.host(w1);
+  const auto dc = b.host(w2);
+  const auto dy = b.host(w3);
+  const auto dz = b.host(w4);
+
+  const std::vector<std::int32_t> path_a{a0, w0, a1, w1, a2, w2};
+  const std::vector<std::int32_t> path_x{a0, w0, a3, w3, a4, w4};
+
+  if (which == 1) {
+    // Case 1: a before x at a0 (Figure 5, upper table).
+    b.packet("a", sa, da, path_a, 0, {0, 1, 1, 2, 4, 5}, 5);
+    b.packet("x", sx, dx, path_x, 0, {1, 2, 2, 3, 3, 4}, 4);
+    b.packet("b1", sb, db, {a1, w1}, 2, {2, 3}, 3);
+    b.packet("b2", sb, db, {a1, w1}, 3, {3, 4}, 4);
+    b.packet("b3", sb, db, {a1, w1}, 4, {4, 5}, 5);
+    b.packet("y1", sy, dy, {a3, w3}, 2, {3, 4}, 4);
+    b.packet("y2", sy, dy, {a3, w3}, 3, {4, 5}, 5);
+  } else {
+    // Case 2: x before a at a0 (Figure 5, lower table).
+    b.packet("a", sa, da, path_a, 0, {1, 2, 2, 3, 4, 5}, 5);
+    b.packet("x", sx, dx, path_x, 0, {0, 1, 1, 2, 3, 4}, 4);
+    b.packet("b1", sb, db, {a1, w1}, 2, {3, 4}, 4);
+    b.packet("b2", sb, db, {a1, w1}, 3, {4, 5}, 5);
+    b.packet("b3", sb, db, {a1, w1}, 4, {5, 6}, 6);
+    b.packet("y1", sy, dy, {a3, w3}, 2, {2, 3}, 3);
+    b.packet("y2", sy, dy, {a3, w3}, 3, {3, 4}, 4);
+  }
+  // Flows C and Z are identical in both cases.
+  b.packet("c1", sc, dc, {a2, w2}, 2, {2, 3}, 3);
+  b.packet("c2", sc, dc, {a2, w2}, 3, {3, 4}, 4);
+  b.packet("z", sz, dz, {a4, w4}, 2, {2, 3}, 3);
+  return std::move(b.g);
+}
+
+gadget fig6_priority_cycle() {
+  builder b;
+  b.g.topo.name = "Fig6-priority-cycle";
+  const auto a1 = b.router("a1");
+  const auto a2 = b.router("a2");
+  const auto a3 = b.router("a3");
+  const auto w1 = b.router("w1");
+  const auto w2 = b.router("w2");
+  const auto w3 = b.router("w3");
+  b.link(a1, w1, kT1);
+  b.link(w1, a2, kInf);
+  b.link(w1, a3, kInf, 2 * kUnit);  // the long link L on a's path
+  b.link(a2, w2, kT05);
+  b.link(w2, a3, kInf);
+  b.link(a3, w3, kT02);
+
+  const auto sa = b.host(a1);
+  const auto sb = b.host(a1);
+  const auto sc = b.host(a2);
+  const auto da = b.host(w3);
+  const auto db = b.host(w2);
+  const auto dc = b.host(w3);
+
+  // Figure 6 schedule: a1: a(0,0), b(0,1); a2: b(2,2), c(2,2.5);
+  // a3: c(3,3), a(3,3.2).
+  b.packet("a", sa, da, {a1, w1, a3, w3}, 0, {0, 1, 3.2, 3.4}, 3.4);
+  b.packet("b", sb, db, {a1, w1, a2, w2}, 0, {1, 2, 2, 2.5}, 2.5);
+  b.packet("c", sc, dc, {a2, w2, a3, w3}, 2, {2.5, 3, 3, 3.2}, 3.2);
+  return std::move(b.g);
+}
+
+gadget fig7_lstf_failure() {
+  builder b;
+  b.g.topo.name = "Fig7-lstf-failure";
+  const auto a0 = b.router("a0");
+  const auto a1 = b.router("a1");
+  const auto a2 = b.router("a2");
+  const auto w0 = b.router("w0");
+  const auto w1 = b.router("w1");
+  const auto w2 = b.router("w2");
+  b.link(a0, w0, kT1);
+  b.link(w0, a1, kInf);
+  b.link(a1, w1, kT1);
+  b.link(w1, a2, kInf);
+  b.link(a2, w2, kT1);
+
+  const auto sa = b.host(a0);
+  const auto sb = b.host(a0);
+  const auto sc = b.host(a1);
+  const auto sd = b.host(a2);
+  const auto da = b.host(w2);
+  const auto db = b.host(w0);
+  const auto dc = b.host(w1);
+  const auto dd = b.host(w2);
+
+  // Figure 7 original schedule: a0: a(0,0), b(0,1);
+  // a1: a(1,1), c1(2,2), c2(3,3); a2: d1(2,2), d2(3,3), a(2,4).
+  b.packet("a", sa, da, {a0, w0, a1, w1, a2, w2}, 0, {0, 1, 1, 2, 4, 5}, 5);
+  b.packet("b", sb, db, {a0, w0}, 0, {1, 2}, 2);
+  b.packet("c1", sc, dc, {a1, w1}, 2, {2, 3}, 3);
+  b.packet("c2", sc, dc, {a1, w1}, 3, {3, 4}, 4);
+  b.packet("d1", sd, dd, {a2, w2}, 2, {2, 3}, 3);
+  b.packet("d2", sd, dd, {a2, w2}, 3, {3, 4}, 4);
+  return std::move(b.g);
+}
+
+}  // namespace ups::topo

@@ -1,0 +1,63 @@
+// Hand-built theory gadgets from the paper's appendices.
+//
+// Each gadget is a tiny topology plus a prescribed schedule: per packet, an
+// injection time and a per-router "scheduled at" time. Running the gadget
+// with the omniscient executor reproduces exactly the schedule printed in
+// the paper's figure (the tests assert the resulting i/o times), and the
+// recorded trace is then fed to the replay engine.
+//
+// The paper's gadget figures give each congestion point a single node-wide
+// transmission time. Our routers are output-queued, so each congestion
+// point α is modelled as a port α -> w(α) at the congested rate feeding an
+// infinitely fast "white" splitter w(α) that fans out toward the next
+// congestion point or the egress hosts; contention then happens on the
+// single α -> w(α) port exactly as in the figures.
+//
+//  - fig5_case(1|2): Appendix C — no UPS under black-box initialization.
+//    Packets a and x have identical (i, o, path) in both cases, yet case 1
+//    requires a before x at the shared first hop and case 2 the opposite.
+//  - fig6_priority_cycle: Appendix F — priority(a)<(b)<(c)<(a) cycle; no
+//    static priority assignment replays it, LSTF does.
+//  - fig7_lstf_failure: Appendix G.3 — a flow with three congestion points
+//    that LSTF cannot replay.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topo/topology.h"
+
+namespace ups::topo {
+
+struct gadget_packet {
+  std::string name;
+  std::size_t src_host;
+  std::size_t dst_host;
+  // Explicit router-level path (router indices; the paper's model fixes
+  // path(p) as part of the input).
+  std::vector<std::int32_t> path;
+  sim::time_ps inject_at;
+  // Prescribed service-start time at each router on the path (one entry per
+  // router; entries for the infinitely fast white routers are ignored).
+  std::vector<sim::time_ps> hop_starts;
+  // Expected last-bit network exit time in the paper's figure.
+  sim::time_ps expected_out;
+  std::uint32_t size_bytes;
+};
+
+struct gadget {
+  topology topo;
+  std::vector<gadget_packet> packets;
+};
+
+// One time unit in the gadgets.
+inline constexpr sim::time_ps kUnit = sim::kMicrosecond;
+// Packet size: 1000 bits, so a 1 Gbps port gives T = 1 unit.
+inline constexpr std::uint32_t kGadgetBytes = 125;
+
+[[nodiscard]] gadget fig5_case(int which);
+[[nodiscard]] gadget fig6_priority_cycle();
+[[nodiscard]] gadget fig7_lstf_failure();
+
+}  // namespace ups::topo

@@ -1,0 +1,135 @@
+#include "topo/internet2.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "net/routing.h"
+
+namespace ups::topo {
+
+namespace {
+
+struct core_edge {
+  std::int32_t a;
+  std::int32_t b;
+  sim::time_ps delay;  // roughly geographic propagation
+};
+
+// 10 POPs, 16 links (Abilene-flavoured mesh).
+constexpr const char* kCities[10] = {
+    "SEAT", "SUNN", "LOSA", "DENV", "KANS",
+    "HOUS", "CHIC", "INDI", "ATLA", "WASH",
+};
+
+const core_edge kEdges[16] = {
+    {0, 1, sim::kMillisecond * 9},   // SEAT-SUNN
+    {0, 3, sim::kMillisecond * 13},  // SEAT-DENV
+    {0, 6, sim::kMillisecond * 20},  // SEAT-CHIC
+    {1, 2, sim::kMillisecond * 4},   // SUNN-LOSA
+    {1, 3, sim::kMillisecond * 12},  // SUNN-DENV
+    {1, 4, sim::kMillisecond * 18},  // SUNN-KANS
+    {2, 5, sim::kMillisecond * 15},  // LOSA-HOUS
+    {2, 8, sim::kMillisecond * 22},  // LOSA-ATLA
+    {3, 4, sim::kMillisecond * 6},   // DENV-KANS
+    {4, 5, sim::kMillisecond * 8},   // KANS-HOUS
+    {4, 6, sim::kMillisecond * 5},   // KANS-CHIC
+    {5, 8, sim::kMillisecond * 8},   // HOUS-ATLA
+    {6, 7, sim::kMillisecond * 2},   // CHIC-INDI
+    {6, 9, sim::kMillisecond * 7},   // CHIC-WASH
+    {7, 8, sim::kMillisecond * 5},   // INDI-ATLA
+    {8, 9, sim::kMillisecond * 6},   // ATLA-WASH
+};
+
+}  // namespace
+
+topology internet2(const internet2_config& cfg) {
+  topology t;
+  t.name = "Internet2";
+  t.routers = 10;
+  for (const char* c : kCities) t.router_names.emplace_back(c);
+
+  // Provision each core link at roughly HALF the capacity the uniform
+  // traffic matrix would need per 1 Gbps of per-host rate, quantized up to
+  // 2.5 Gbps waves. The core is then the uniformly hot tier in every
+  // variant (as in the paper, where core links are slower than access
+  // links), and the variants differ in how finely traffic is paced before
+  // reaching it: 1 Gbps access serializes packets 12 us apart (decent
+  // replay), 1 Gbps host links pace even earlier (best), and 10 Gbps
+  // access delivers ~10x burstier arrivals to the hot core (worst) — the
+  // paper's §2.3(3) mechanism.
+  net::routing_graph g(10);
+  for (const auto& e : kEdges) {
+    g[e.a].push_back(net::routing_edge{e.b, e.delay + 1});
+    g[e.b].push_back(net::routing_edge{e.a, e.delay + 1});
+  }
+  // Directed pair-crossings per core link under shortest-path routing.
+  double crossings[16][2] = {};
+  for (net::node_id s = 0; s < 10; ++s) {
+    for (net::node_id d = 0; d < 10; ++d) {
+      if (s == d) continue;
+      const auto path = net::shortest_path(g, s, d);
+      for (std::size_t j = 0; j + 1 < path.size(); ++j) {
+        for (std::size_t i = 0; i < 16; ++i) {
+          if (kEdges[i].a == path[j] && kEdges[i].b == path[j + 1]) {
+            crossings[i][0] += 1;
+          } else if (kEdges[i].b == path[j] && kEdges[i].a == path[j + 1]) {
+            crossings[i][1] += 1;
+          }
+        }
+      }
+    }
+  }
+  const double hosts =
+      10.0 * cfg.edges_per_core * cfg.hosts_per_edge;  // 100 by default
+  const double hosts_per_core = hosts / 10.0;
+  for (std::size_t i = 0; i < 16; ++i) {
+    // Load in units of the per-host rate R: each directed core pair on the
+    // path carries hosts_per_core^2 host pairs, each at R/(hosts-1).
+    const double worst = std::max(crossings[i][0], crossings[i][1]);
+    const double load_R =
+        worst * hosts_per_core * hosts_per_core / (hosts - 1.0);
+    // Capacity for the load at R = 0.5 Gbps, rounded up to the next
+    // 2.5 Gbps wave: the core saturates at about half the per-host rate
+    // that would saturate the 1 Gbps access tier.
+    const double gbps = std::ceil(load_R * 0.5 / 2.5) * 2.5;
+    const auto rate = static_cast<sim::bits_per_sec>(gbps * 1e9);
+    t.core_links.push_back(
+        link_spec{kEdges[i].a, kEdges[i].b, rate, kEdges[i].delay});
+  }
+
+  // Edge routers hang off each core router; hosts hang off edge routers.
+  for (std::int32_t c = 0; c < 10; ++c) {
+    for (std::int32_t e = 0; e < cfg.edges_per_core; ++e) {
+      const std::int32_t edge_router = t.routers++;
+      t.router_names.push_back(std::string(kCities[c]) + "-e" +
+                               std::to_string(e));
+      t.core_links.push_back(
+          link_spec{c, edge_router, cfg.access_rate, sim::kMicrosecond * 100});
+      for (std::int32_t h = 0; h < cfg.hosts_per_edge; ++h) {
+        t.hosts.push_back(
+            host_spec{edge_router, cfg.host_rate, sim::kMicrosecond * 10});
+      }
+    }
+  }
+  return t;
+}
+
+topology internet2_1g_10g() { return internet2(); }
+
+topology internet2_1g_1g() {
+  internet2_config cfg;
+  cfg.host_rate = sim::kGbps;
+  auto t = internet2(cfg);
+  t.name = "Internet2-1G-1G";
+  return t;
+}
+
+topology internet2_10g_10g() {
+  internet2_config cfg;
+  cfg.access_rate = 10 * sim::kGbps;
+  auto t = internet2(cfg);
+  t.name = "Internet2-10G-10G";
+  return t;
+}
+
+}  // namespace ups::topo

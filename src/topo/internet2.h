@@ -1,0 +1,31 @@
+// Simplified Internet2 topology (§2.3): 10 core routers, 16 core links,
+// 10 edge routers per core router, one end host per edge router.
+//
+// The paper (via [21]) does not publish per-core-link capacities; we use a
+// deterministic mix of 2.5 and 10 Gbps chosen so that (a) in the default
+// setup every core link is at least as fast as the 1 Gbps access links and
+// (b) in the 10G-10G variant most core links are slower than the access
+// links — the two properties the paper's Table 1 analysis relies on.
+#pragma once
+
+#include "topo/topology.h"
+
+namespace ups::topo {
+
+struct internet2_config {
+  // edge router <-> core router links ("access"); 1 Gbps in the default.
+  sim::bits_per_sec access_rate = sim::kGbps;
+  // host <-> edge router links; 10 Gbps in the default.
+  sim::bits_per_sec host_rate = 10 * sim::kGbps;
+  std::int32_t edges_per_core = 10;
+  std::int32_t hosts_per_edge = 1;
+};
+
+[[nodiscard]] topology internet2(const internet2_config& cfg = {});
+
+// Paper variants (Table 1 row 3).
+[[nodiscard]] topology internet2_1g_10g();   // default
+[[nodiscard]] topology internet2_1g_1g();    // slower host links
+[[nodiscard]] topology internet2_10g_10g();  // faster access links
+
+}  // namespace ups::topo

@@ -1,0 +1,90 @@
+#include "topo/rocketfuel.h"
+
+#include <utility>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace ups::topo {
+
+topology rocketfuel(const rocketfuel_config& cfg) {
+  constexpr std::int32_t kCore = 83;
+  constexpr std::int32_t kLinks = 131;
+
+  topology t;
+  t.name = "RocketFuel";
+  t.routers = kCore;
+
+  sim::rng rng(cfg.seed);
+
+  // Preferential attachment over the core: start from a triangle, then each
+  // new node attaches to 1-2 existing nodes weighted by degree. 3 seed links
+  // + 80 first attachments + 48 second attachments = 131 links.
+  std::vector<std::int32_t> degree(kCore, 0);
+  std::vector<std::pair<std::int32_t, std::int32_t>> edges;
+  auto add_edge = [&](std::int32_t a, std::int32_t b) {
+    edges.emplace_back(a, b);
+    ++degree[a];
+    ++degree[b];
+  };
+  add_edge(0, 1);
+  add_edge(1, 2);
+  add_edge(0, 2);
+
+  auto pick_by_degree = [&](std::int32_t upto, std::int32_t exclude) {
+    std::int64_t total = 0;
+    for (std::int32_t i = 0; i < upto; ++i) {
+      if (i != exclude) total += degree[i];
+    }
+    auto target = static_cast<std::int64_t>(rng.next_below(
+        static_cast<std::uint64_t>(total)));
+    for (std::int32_t i = 0; i < upto; ++i) {
+      if (i == exclude) continue;
+      target -= degree[i];
+      if (target < 0) return i;
+    }
+    return upto - 1;
+  };
+
+  std::int32_t second_links_left = kLinks - 3 - (kCore - 3);
+  for (std::int32_t v = 3; v < kCore; ++v) {
+    const std::int32_t first = pick_by_degree(v, -1);
+    add_edge(v, first);
+    // Spread the 48 extra links across the growth process.
+    if (second_links_left > 0 && v % 5 != 0) {
+      const std::int32_t second = pick_by_degree(v, first);
+      add_edge(v, second);
+      --second_links_left;
+    }
+  }
+  while (second_links_left > 0) {
+    const std::int32_t a = pick_by_degree(kCore, -1);
+    const std::int32_t b = pick_by_degree(kCore, a);
+    add_edge(a, b);
+    --second_links_left;
+  }
+
+  // Half the core links slower than the access links (paper's setting),
+  // half faster; delays drawn 1-5 ms.
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const sim::bits_per_sec rate =
+        (i % 2 == 0) ? cfg.access_rate / 2 : sim::kGbps * 5 / 2;
+    const auto delay = static_cast<sim::time_ps>(
+        sim::kMillisecond * (1 + static_cast<sim::time_ps>(rng.next_below(5))));
+    t.core_links.push_back(
+        link_spec{edges[i].first, edges[i].second, rate, delay});
+  }
+
+  for (std::int32_t c = 0; c < kCore; ++c) {
+    for (std::int32_t e = 0; e < cfg.edges_per_core; ++e) {
+      const std::int32_t edge_router = t.routers++;
+      t.core_links.push_back(
+          link_spec{c, edge_router, cfg.access_rate, sim::kMicrosecond * 100});
+      t.hosts.push_back(
+          host_spec{edge_router, cfg.host_rate, sim::kMicrosecond * 10});
+    }
+  }
+  return t;
+}
+
+}  // namespace ups::topo

@@ -1,0 +1,24 @@
+// RocketFuel-like ISP topology (§2.3): 83 core routers, 131 core links.
+//
+// The measured RocketFuel dataset is not redistributable here; we generate a
+// deterministic preferential-attachment graph with exactly the paper's node
+// and link counts, and set half the core links slower than the access links
+// — the property the paper identifies as driving its replay results.
+#pragma once
+
+#include <cstdint>
+
+#include "topo/topology.h"
+
+namespace ups::topo {
+
+struct rocketfuel_config {
+  std::uint64_t seed = 42;
+  sim::bits_per_sec access_rate = sim::kGbps;
+  sim::bits_per_sec host_rate = 10 * sim::kGbps;
+  std::int32_t edges_per_core = 10;
+};
+
+[[nodiscard]] topology rocketfuel(const rocketfuel_config& cfg = {});
+
+}  // namespace ups::topo

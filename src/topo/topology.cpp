@@ -1,0 +1,47 @@
+#include "topo/topology.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ups::topo {
+
+sim::bits_per_sec topology::bottleneck_rate() const {
+  sim::bits_per_sec lo = sim::kInfiniteRate;
+  for (const auto& l : core_links) lo = std::min(lo, l.rate);
+  for (const auto& h : hosts) lo = std::min(lo, h.rate);
+  if (lo == sim::kInfiniteRate) {
+    throw std::logic_error("topology: all links infinite");
+  }
+  return lo;
+}
+
+void topology::scale_delays(double factor) {
+  for (auto& l : core_links) {
+    l.delay = static_cast<sim::time_ps>(static_cast<double>(l.delay) * factor);
+  }
+  for (auto& h : hosts) {
+    h.delay = static_cast<sim::time_ps>(static_cast<double>(h.delay) * factor);
+  }
+}
+
+void populate(const topology& t, net::network& net) {
+  for (std::int32_t i = 0; i < t.routers; ++i) {
+    const std::string name = i < static_cast<std::int32_t>(
+                                     t.router_names.size())
+                                 ? t.router_names[i]
+                                 : "r" + std::to_string(i);
+    net.add_router(name);
+  }
+  for (std::size_t i = 0; i < t.hosts.size(); ++i) {
+    net.add_host("h" + std::to_string(i));
+  }
+  for (const auto& l : t.core_links) {
+    net.add_link(l.a, l.b, l.rate, l.delay);
+  }
+  for (std::size_t i = 0; i < t.hosts.size(); ++i) {
+    net.add_link(t.hosts[i].router, t.host_id(i), t.hosts[i].rate,
+                 t.hosts[i].delay);
+  }
+}
+
+}  // namespace ups::topo

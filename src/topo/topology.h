@@ -1,0 +1,60 @@
+// Topology specifications: plain data describing routers, hosts and links,
+// materialized into a fresh net::network for each run (the replay engine
+// rebuilds the same topology with different schedulers).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+#include "sim/time.h"
+#include "sim/units.h"
+
+namespace ups::topo {
+
+struct link_spec {
+  std::int32_t a;
+  std::int32_t b;
+  sim::bits_per_sec rate;
+  sim::time_ps delay;
+};
+
+struct host_spec {
+  std::int32_t router;  // attachment router index
+  sim::bits_per_sec rate;
+  sim::time_ps delay;
+};
+
+struct topology {
+  std::string name;
+  std::int32_t routers = 0;
+  std::vector<std::string> router_names;  // optional; defaults to "r<i>"
+  std::vector<link_spec> core_links;      // router <-> router (duplex)
+  std::vector<host_spec> hosts;           // host i attaches to hosts[i].router
+
+  [[nodiscard]] std::size_t host_count() const noexcept {
+    return hosts.size();
+  }
+
+  // Node ids after populate(): routers are [0, routers), hosts follow.
+  [[nodiscard]] net::node_id router_id(std::int32_t i) const noexcept {
+    return i;
+  }
+  [[nodiscard]] net::node_id host_id(std::size_t i) const noexcept {
+    return routers + static_cast<net::node_id>(i);
+  }
+
+  // Smallest finite link rate (core or access): the "bottleneck link" whose
+  // transmission time defines Table 1's threshold T.
+  [[nodiscard]] sim::bits_per_sec bottleneck_rate() const;
+
+  // Scales every propagation delay (the fairness experiment shrinks delays
+  // "to make the experiment more scalable").
+  void scale_delays(double factor);
+};
+
+// Adds the topology's nodes and links to an un-built network.
+void populate(const topology& t, net::network& net);
+
+}  // namespace ups::topo

@@ -1,0 +1,80 @@
+#include "traffic/size_dist.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ups::traffic {
+
+bounded_pareto::bounded_pareto(double alpha, std::uint64_t lo,
+                               std::uint64_t hi)
+    : alpha_(alpha), lo_(lo), hi_(hi) {
+  if (alpha <= 0 || alpha == 1.0 || lo == 0 || hi <= lo) {
+    throw std::invalid_argument("bounded_pareto: bad parameters");
+  }
+  const double l = static_cast<double>(lo);
+  const double h = static_cast<double>(hi);
+  const double norm = 1.0 - std::pow(l / h, alpha);
+  mean_ = alpha * std::pow(l, alpha) / norm *
+          (std::pow(h, 1.0 - alpha) - std::pow(l, 1.0 - alpha)) /
+          (1.0 - alpha);
+}
+
+std::uint64_t bounded_pareto::sample(sim::rng& rng) const {
+  const double v = rng.bounded_pareto(alpha_, static_cast<double>(lo_),
+                                      static_cast<double>(hi_));
+  const auto b = static_cast<std::uint64_t>(v);
+  return std::max(lo_, std::min(hi_, b));
+}
+
+empirical::empirical(std::vector<point> points, std::string name)
+    : points_(std::move(points)), name_(std::move(name)) {
+  if (points_.size() < 2 || points_.back().cum_prob != 1.0) {
+    throw std::invalid_argument("empirical: need >=2 points ending at 1.0");
+  }
+  // Mean of the piecewise-linear CDF: sum of segment midpoints weighted by
+  // probability mass.
+  mean_ = 0.0;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const double mass = points_[i].cum_prob - points_[i - 1].cum_prob;
+    mean_ += mass * 0.5 * (points_[i].bytes + points_[i - 1].bytes);
+  }
+}
+
+std::uint64_t empirical::sample(sim::rng& rng) const {
+  const double u = rng.uniform();
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (u <= points_[i].cum_prob) {
+      const double lo_p = points_[i - 1].cum_prob;
+      const double hi_p = points_[i].cum_prob;
+      const double frac = (u - lo_p) / (hi_p - lo_p);
+      const double bytes =
+          points_[i - 1].bytes + frac * (points_[i].bytes - points_[i - 1].bytes);
+      return static_cast<std::uint64_t>(std::max(1.0, bytes));
+    }
+  }
+  return static_cast<std::uint64_t>(points_.back().bytes);
+}
+
+std::unique_ptr<flow_size_dist> default_heavy_tailed() {
+  return std::make_unique<bounded_pareto>(1.2, 1460, 3'000'000);
+}
+
+std::unique_ptr<flow_size_dist> web_search() {
+  // DCTCP web-search-flavoured CDF (bytes, cumulative probability).
+  return std::make_unique<empirical>(
+      std::vector<empirical::point>{
+          {1'460, 0.00},
+          {4'380, 0.15},
+          {10'220, 0.30},
+          {58'400, 0.53},
+          {105'120, 0.60},
+          {525'600, 0.70},
+          {1'051'200, 0.80},
+          {5'256'000, 0.95},
+          {21'024'000, 1.00},
+      },
+      "web-search");
+}
+
+}  // namespace ups::traffic

@@ -1,0 +1,82 @@
+// Flow size distributions.
+//
+// The paper draws flow sizes "from a heavy-tailed distribution [4, 5]"; we
+// default to a bounded Pareto and also provide an empirical web-search-like
+// CDF (per-packet buckets matching Figure 2's x-axis) and a fixed size for
+// tests.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace ups::traffic {
+
+class flow_size_dist {
+ public:
+  virtual ~flow_size_dist() = default;
+  [[nodiscard]] virtual std::uint64_t sample(sim::rng& rng) const = 0;
+  [[nodiscard]] virtual double mean_bytes() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+class bounded_pareto final : public flow_size_dist {
+ public:
+  bounded_pareto(double alpha, std::uint64_t lo, std::uint64_t hi);
+  [[nodiscard]] std::uint64_t sample(sim::rng& rng) const override;
+  [[nodiscard]] double mean_bytes() const override { return mean_; }
+  [[nodiscard]] std::string name() const override { return "bounded-pareto"; }
+
+ private:
+  double alpha_;
+  std::uint64_t lo_;
+  std::uint64_t hi_;
+  double mean_;
+};
+
+// Piecewise-linear inverse-CDF over (bytes, cumulative probability) points.
+class empirical final : public flow_size_dist {
+ public:
+  struct point {
+    double bytes;
+    double cum_prob;  // strictly increasing, last = 1.0
+  };
+  explicit empirical(std::vector<point> points, std::string name);
+  [[nodiscard]] std::uint64_t sample(sim::rng& rng) const override;
+  [[nodiscard]] double mean_bytes() const override { return mean_; }
+  [[nodiscard]] std::string name() const override { return name_; }
+
+ private:
+  std::vector<point> points_;
+  std::string name_;
+  double mean_;
+};
+
+class fixed_size final : public flow_size_dist {
+ public:
+  explicit fixed_size(std::uint64_t bytes) : bytes_(bytes) {}
+  [[nodiscard]] std::uint64_t sample(sim::rng&) const override {
+    return bytes_;
+  }
+  [[nodiscard]] double mean_bytes() const override {
+    return static_cast<double>(bytes_);
+  }
+  [[nodiscard]] std::string name() const override { return "fixed"; }
+
+ private:
+  std::uint64_t bytes_;
+};
+
+// Default heavy-tailed mix used by the replay experiments: alpha = 1.2,
+// 1460 B .. 3 MB (mean ~15 KB, matching "most flows short, most bytes in
+// long flows").
+[[nodiscard]] std::unique_ptr<flow_size_dist> default_heavy_tailed();
+
+// Web-search-like empirical distribution (DCTCP-style) for the datacenter
+// and FCT experiments.
+[[nodiscard]] std::unique_ptr<flow_size_dist> web_search();
+
+}  // namespace ups::traffic

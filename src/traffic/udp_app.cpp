@@ -1,0 +1,39 @@
+#include "traffic/udp_app.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace ups::traffic {
+
+udp_app::udp_app(net::network& net, std::vector<flow_spec> flows, options opt)
+    : net_(net), flows_(std::move(flows)), opt_(std::move(opt)) {
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    net_.sim().schedule_at(flows_[i].start,
+                           [this, i] { emit_flow(flows_[i]); });
+  }
+}
+
+void udp_app::emit_flow(const flow_spec& f) {
+  std::uint64_t remaining = f.size_bytes;
+  std::uint32_t seq = 0;
+  while (remaining > 0) {
+    const std::uint32_t sz = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(remaining, opt_.mtu_bytes));
+    auto p = std::make_unique<net::packet>();
+    p->id = next_packet_id_++;
+    p->flow_id = f.id;
+    p->seq_in_flow = seq++;
+    p->size_bytes = sz;
+    p->src_host = f.src;
+    p->dst_host = f.dst;
+    p->flow_size_bytes = f.size_bytes;
+    p->remaining_flow_bytes = remaining;
+    p->record_hops = opt_.record_hops;
+    if (opt_.stamper) opt_.stamper(*p);
+    remaining -= sz;
+    ++packets_emitted_;
+    net_.send_from_host(std::move(p));
+  }
+}
+
+}  // namespace ups::traffic

@@ -1,0 +1,44 @@
+// Open-loop UDP application: each flow's packets enter the source host's
+// NIC queue at the flow start time and the NIC paces them onto the wire.
+//
+// The stamper callback initializes the scheduling header at the source —
+// this is where the §3 slack heuristics plug in (in replay experiments the
+// header is instead initialized by the replay engine, not here).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/network.h"
+#include "traffic/workload.h"
+
+namespace ups::traffic {
+
+using header_stamper = std::function<void(net::packet&)>;
+
+class udp_app {
+ public:
+  struct options {
+    std::uint32_t mtu_bytes = 1500;
+    bool record_hops = false;
+    header_stamper stamper;  // optional
+  };
+
+  udp_app(net::network& net, std::vector<flow_spec> flows, options opt);
+
+  [[nodiscard]] std::uint64_t packets_emitted() const noexcept {
+    return packets_emitted_;
+  }
+
+ private:
+  void emit_flow(const flow_spec& f);
+
+  net::network& net_;
+  std::vector<flow_spec> flows_;
+  options opt_;
+  std::uint64_t next_packet_id_ = 1;
+  std::uint64_t packets_emitted_ = 0;
+};
+
+}  // namespace ups::traffic

@@ -1,0 +1,99 @@
+#include "traffic/workload.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "sim/rng.h"
+
+namespace ups::traffic {
+
+namespace {
+
+// Accumulates per-directed-port load (in units of one source-destination
+// pair's rate share) along the route of a host pair, including the source
+// host's NIC and the egress router's port.
+void add_pair_load(net::network& net, net::node_id src, net::node_id dst,
+                   double w, std::unordered_map<const net::port*, double>& load) {
+  const auto& path = net.route(src, dst);
+  load[&net.port_between(src, path.front())] += w;
+  for (std::size_t j = 0; j + 1 < path.size(); ++j) {
+    load[&net.port_between(path[j], path[j + 1])] += w;
+  }
+  load[&net.port_between(path.back(), dst)] += w;
+}
+
+}  // namespace
+
+workload generate(net::network& net, const topo::topology& topo,
+                  const flow_size_dist& dist, const workload_config& cfg) {
+  const std::size_t hosts = topo.host_count();
+  if (hosts < 2) throw std::invalid_argument("workload: need >= 2 hosts");
+
+  sim::rng calib_rng(cfg.seed ^ 0xCA11B8A7Eull);
+
+  // --- calibration: per-port load per unit of per-host offered rate ---
+  std::unordered_map<const net::port*, double> load;
+  if (hosts <= cfg.exact_pair_limit) {
+    const double w = 1.0 / static_cast<double>(hosts - 1);
+    for (std::size_t s = 0; s < hosts; ++s) {
+      for (std::size_t d = 0; d < hosts; ++d) {
+        if (s == d) continue;
+        add_pair_load(net, topo.host_id(s), topo.host_id(d), w, load);
+      }
+    }
+  } else {
+    // Sampled estimate: each sampled pair stands in for its share of the
+    // uniform matrix; a source sends 1 unit split across (hosts-1) peers,
+    // so the network-wide unit mass is `hosts`, spread over the samples.
+    const double w =
+        static_cast<double>(hosts) / static_cast<double>(cfg.sampled_pairs);
+    for (std::size_t i = 0; i < cfg.sampled_pairs; ++i) {
+      const auto s = calib_rng.next_below(hosts);
+      auto d = calib_rng.next_below(hosts - 1);
+      if (d >= s) ++d;
+      add_pair_load(net, topo.host_id(s), topo.host_id(d), w, load);
+    }
+  }
+
+  double max_ratio = 0.0;  // load (in per-host-rate units) / link rate
+  for (const auto& [pt, l] : load) {
+    if (pt->rate() == sim::kInfiniteRate) continue;
+    max_ratio = std::max(max_ratio, l / static_cast<double>(pt->rate()));
+  }
+  if (max_ratio <= 0) throw std::logic_error("workload: calibration failed");
+  const double per_host_bps = cfg.utilization / max_ratio;
+
+  // --- Poisson flow arrivals until the packet budget ---
+  const double mean_flow_bits = dist.mean_bytes() * 8.0;
+  const double agg_flows_per_sec =
+      per_host_bps * static_cast<double>(hosts) / mean_flow_bits;
+  const double mean_gap_ps =
+      static_cast<double>(sim::kSecond) / agg_flows_per_sec;
+
+  workload out;
+  out.per_host_rate_bps = per_host_bps;
+  out.max_link_utilization = cfg.utilization;
+
+  sim::rng rng(cfg.seed);
+  double t = 0.0;
+  std::uint64_t next_flow = 1;
+  while (out.total_packets < cfg.packet_budget) {
+    t += rng.exponential(mean_gap_ps);
+    const auto s = rng.next_below(hosts);
+    auto d = rng.next_below(hosts - 1);
+    if (d >= s) ++d;
+    const std::uint64_t size = dist.sample(rng);
+    flow_spec f;
+    f.id = next_flow++;
+    f.src = topo.host_id(s);
+    f.dst = topo.host_id(d);
+    f.size_bytes = size;
+    f.start = static_cast<sim::time_ps>(t);
+    out.total_packets += (size + cfg.mtu_bytes - 1) / cfg.mtu_bytes;
+    out.flows.push_back(f);
+  }
+  return out;
+}
+
+}  // namespace ups::traffic

@@ -1,0 +1,144 @@
+// Failure-injection tests: the library must fail loudly and precisely on
+// misuse rather than silently producing wrong schedules.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/registry.h"
+#include "core/replay.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "topo/basic.h"
+#include "topo/fattree.h"
+#include "topo/gadgets.h"
+#include "traffic/size_dist.h"
+#include "traffic/workload.h"
+
+namespace ups {
+namespace {
+
+TEST(errors, network_requires_factory_before_build) {
+  sim::simulator sim;
+  net::network n(sim);
+  n.add_router("r0");
+  EXPECT_THROW(n.build(), std::logic_error);
+}
+
+TEST(errors, network_rejects_double_build) {
+  sim::simulator sim;
+  net::network n(sim);
+  n.add_router("r0");
+  n.set_scheduler_factory(core::make_factory(core::sched_kind::fifo, 1));
+  n.build();
+  EXPECT_THROW(n.build(), std::logic_error);
+}
+
+TEST(errors, network_rejects_topology_changes_after_build) {
+  sim::simulator sim;
+  net::network n(sim);
+  n.add_router("r0");
+  n.set_scheduler_factory(core::make_factory(core::sched_kind::fifo, 1));
+  n.build();
+  EXPECT_THROW(static_cast<void>(n.add_router("late")), std::logic_error);
+  EXPECT_THROW(static_cast<void>(n.add_host("late")), std::logic_error);
+  EXPECT_THROW(n.add_link(0, 0, sim::kGbps, 0), std::logic_error);
+}
+
+TEST(errors, missing_port_lookup_throws) {
+  sim::simulator sim;
+  net::network n(sim);
+  n.add_router("r0");
+  n.add_router("r1");
+  n.set_scheduler_factory(core::make_factory(core::sched_kind::fifo, 1));
+  n.build();
+  EXPECT_THROW(static_cast<void>(n.port_between(0, 1)), std::out_of_range);
+}
+
+TEST(errors, unreachable_route_throws) {
+  sim::simulator sim;
+  net::network n(sim);
+  n.add_router("r0");
+  n.add_router("r1");  // disconnected from r0
+  const auto h0 = n.add_host("h0");
+  const auto h1 = n.add_host("h1");
+  n.add_link(0, h0, sim::kGbps, 0);
+  n.add_link(1, h1, sim::kGbps, 0);
+  n.set_scheduler_factory(core::make_factory(core::sched_kind::fifo, 1));
+  n.build();
+  EXPECT_THROW(static_cast<void>(n.route(h0, h1)), std::runtime_error);
+}
+
+TEST(errors, host_with_two_uplinks_rejected_in_routing) {
+  sim::simulator sim;
+  net::network n(sim);
+  n.add_router("r0");
+  n.add_router("r1");
+  const auto h = n.add_host("h");
+  const auto h2 = n.add_host("h2");
+  n.add_link(0, 1, sim::kGbps, 0);
+  n.add_link(0, h, sim::kGbps, 0);
+  n.add_link(1, h, sim::kGbps, 0);  // second uplink: ambiguous attachment
+  n.add_link(1, h2, sim::kGbps, 0);
+  n.set_scheduler_factory(core::make_factory(core::sched_kind::fifo, 1));
+  n.build();
+  EXPECT_THROW(static_cast<void>(n.route(h, h2)), std::logic_error);
+}
+
+TEST(errors, replay_of_empty_trace_is_empty_result) {
+  net::trace empty;
+  core::replay_options opt;
+  const auto topo = topo::line(2);
+  const auto res = core::replay_trace(
+      empty, [&topo](net::network& n) { topo::populate(topo, n); }, opt);
+  EXPECT_EQ(res.total, 0u);
+  EXPECT_DOUBLE_EQ(res.frac_overdue(), 0.0);
+  EXPECT_DOUBLE_EQ(res.frac_overdue_beyond_T(), 0.0);
+}
+
+TEST(errors, gadget_case_index_validated) {
+  EXPECT_THROW(static_cast<void>(topo::fig5_case(0)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(topo::fig5_case(3)), std::invalid_argument);
+}
+
+TEST(errors, workload_requires_two_hosts) {
+  sim::simulator sim;
+  net::network n(sim);
+  topo::topology t;
+  t.routers = 1;
+  t.hosts.push_back(topo::host_spec{0, sim::kGbps, 0});
+  topo::populate(t, n);
+  n.set_scheduler_factory(core::make_factory(core::sched_kind::fifo, 1));
+  n.build();
+  traffic::fixed_size dist(1500);
+  EXPECT_THROW(static_cast<void>(traffic::generate(n, t, dist, {})),
+               std::invalid_argument);
+}
+
+TEST(errors, bounded_pareto_validates_parameters) {
+  EXPECT_THROW(traffic::bounded_pareto(1.0, 10, 100), std::invalid_argument);
+  EXPECT_THROW(traffic::bounded_pareto(1.2, 0, 100), std::invalid_argument);
+  EXPECT_THROW(traffic::bounded_pareto(1.2, 100, 100), std::invalid_argument);
+}
+
+TEST(errors, empirical_dist_validates_cdf) {
+  EXPECT_THROW(traffic::empirical({{100.0, 0.5}}, "bad"),
+               std::invalid_argument);
+  EXPECT_THROW(traffic::empirical({{100.0, 0.2}, {200.0, 0.9}}, "bad"),
+               std::invalid_argument);
+}
+
+TEST(errors, fattree_requires_even_k) {
+  topo::fattree_config cfg;
+  cfg.k = 3;
+  EXPECT_THROW(static_cast<void>(topo::fattree(cfg)), std::invalid_argument);
+}
+
+TEST(errors, all_infinite_topology_has_no_bottleneck) {
+  topo::topology t;
+  t.routers = 1;
+  t.hosts.push_back(topo::host_spec{0, sim::kInfiniteRate, 0});
+  EXPECT_THROW(static_cast<void>(t.bottleneck_rate()), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ups

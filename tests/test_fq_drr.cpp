@@ -1,0 +1,116 @@
+// Unit tests for the fair-queueing disciplines (virtual-finish-time FQ and
+// deficit round robin).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "sched/drr.h"
+#include "sched/fq.h"
+
+namespace ups::sched {
+namespace {
+
+net::packet_ptr pkt(std::uint64_t id, std::uint64_t flow,
+                    std::uint32_t bytes = 1500) {
+  auto p = std::make_unique<net::packet>();
+  p->id = id;
+  p->flow_id = flow;
+  p->size_bytes = bytes;
+  return p;
+}
+
+TEST(fq, interleaves_two_backlogged_flows) {
+  fq q(sim::kGbps);
+  // Flow 1 dumps 4 packets, then flow 2 dumps 4: virtual finish times must
+  // interleave service 1,2,1,2,... rather than drain flow 1 first.
+  for (std::uint64_t i = 0; i < 4; ++i) q.enqueue(pkt(10 + i, 1), 0);
+  for (std::uint64_t i = 0; i < 4; ++i) q.enqueue(pkt(20 + i, 2), 0);
+  std::vector<std::uint64_t> flows;
+  while (auto p = q.dequeue(0)) flows.push_back(p->flow_id);
+  // Both flows accumulate identical finish-tag ladders (12, 24, 36, 48 us);
+  // equal tags break FCFS, so service strictly alternates.
+  EXPECT_EQ(flows, (std::vector<std::uint64_t>{1, 2, 1, 2, 1, 2, 1, 2}));
+}
+
+TEST(fq, smaller_packets_get_proportionally_more_service) {
+  fq q(sim::kGbps);
+  // Flow 1 sends 750 B packets, flow 2 sends 1500 B: per round of tags flow
+  // 1 should send twice as many packets (equal bytes).
+  for (std::uint64_t i = 0; i < 8; ++i) q.enqueue(pkt(10 + i, 1, 750), 0);
+  for (std::uint64_t i = 0; i < 4; ++i) q.enqueue(pkt(20 + i, 2, 1500), 0);
+  std::map<std::uint64_t, std::uint64_t> bytes_served;
+  for (int i = 0; i < 6; ++i) {
+    auto p = q.dequeue(0);
+    ASSERT_NE(p, nullptr);
+    bytes_served[p->flow_id] += p->size_bytes;
+  }
+  EXPECT_NEAR(static_cast<double>(bytes_served[1]),
+              static_cast<double>(bytes_served[2]), 1500.0);
+}
+
+TEST(fq, single_flow_is_fifo) {
+  fq q(sim::kGbps);
+  for (std::uint64_t i = 1; i <= 5; ++i) q.enqueue(pkt(i, 42), 0);
+  std::vector<std::uint64_t> ids;
+  while (auto p = q.dequeue(0)) ids.push_back(p->id);
+  EXPECT_EQ(ids, (std::vector<std::uint64_t>{1, 2, 3, 4, 5}));
+}
+
+TEST(fq, evicts_largest_finish_tag) {
+  fq q(sim::kGbps);
+  for (std::uint64_t i = 0; i < 4; ++i) q.enqueue(pkt(10 + i, 1), 0);
+  q.enqueue(pkt(20, 2), 0);
+  auto incoming = pkt(30, 3);
+  auto victim = q.evict_for(*incoming, 0);
+  ASSERT_NE(victim, nullptr);
+  EXPECT_EQ(victim->id, 13u);  // flow 1's furthest-ahead packet
+}
+
+TEST(drr, equal_quantum_shares_bandwidth) {
+  drr q(1500);
+  for (std::uint64_t i = 0; i < 6; ++i) q.enqueue(pkt(10 + i, 1), 0);
+  for (std::uint64_t i = 0; i < 6; ++i) q.enqueue(pkt(20 + i, 2), 0);
+  std::vector<std::uint64_t> flows;
+  while (auto p = q.dequeue(0)) flows.push_back(p->flow_id);
+  // Alternating service with a quantum of one packet.
+  EXPECT_EQ(flows, (std::vector<std::uint64_t>{1, 2, 1, 2, 1, 2, 1, 2, 1, 2,
+                                               1, 2}));
+}
+
+TEST(drr, deficit_accumulates_for_large_packets) {
+  drr q(800);  // quantum below the packet size: needs two rounds per packet
+  q.enqueue(pkt(1, 1, 1500), 0);
+  q.enqueue(pkt(2, 2, 600), 0);
+  q.enqueue(pkt(3, 2, 600), 0);
+  std::vector<std::uint64_t> ids;
+  while (auto p = q.dequeue(0)) ids.push_back(p->id);
+  // Flow 2's first small packet fits one quantum immediately; flow 1 banks
+  // deficit across two rounds and then sends; flow 2 finishes last.
+  EXPECT_EQ(ids, (std::vector<std::uint64_t>{2, 1, 3}));
+}
+
+TEST(drr, empty_flow_leaves_ring) {
+  drr q(1500);
+  q.enqueue(pkt(1, 1), 0);
+  EXPECT_EQ(q.dequeue(0)->id, 1u);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.dequeue(0), nullptr);
+  // Flow can return later.
+  q.enqueue(pkt(2, 1), 0);
+  EXPECT_EQ(q.dequeue(0)->id, 2u);
+}
+
+TEST(drr, byte_and_packet_accounting) {
+  drr q(1500);
+  q.enqueue(pkt(1, 1, 100), 0);
+  q.enqueue(pkt(2, 2, 200), 0);
+  EXPECT_EQ(q.packets(), 2u);
+  EXPECT_EQ(q.bytes(), 300u);
+  (void)q.dequeue(0);
+  EXPECT_EQ(q.packets(), 1u);
+}
+
+}  // namespace
+}  // namespace ups::sched

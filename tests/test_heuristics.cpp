@@ -1,0 +1,100 @@
+// Tests for the §3 slack-initialization heuristics.
+#include <gtest/gtest.h>
+
+#include "core/heuristics.h"
+
+namespace ups::core {
+namespace {
+
+TEST(fct_slack, monotone_in_flow_size) {
+  fct_slack h;
+  EXPECT_LT(h.slack_for(1'460), h.slack_for(2'920));
+  EXPECT_LT(h.slack_for(2'920), h.slack_for(100'000));
+  EXPECT_LT(h.slack_for(100'000), h.slack_for(3'000'000));
+}
+
+TEST(fct_slack, size_classes_separated_by_d) {
+  fct_slack h;
+  // Adjacent packet-count classes differ by exactly D = 1 s, which dwarfs
+  // any accumulated queueing, so cross-class LSTF order is SJF order.
+  EXPECT_EQ(h.slack_for(2'920) - h.slack_for(1'460), sim::kSecond);
+  // Same packet count: same class.
+  EXPECT_EQ(h.slack_for(1'000), h.slack_for(1'460));
+}
+
+TEST(fct_slack, no_overflow_at_cap) {
+  fct_slack h;
+  const auto huge = h.slack_for(UINT64_MAX / 2);
+  EXPECT_GT(huge, 0);
+  EXPECT_LT(huge, INT64_MAX / 4) << "headroom for key arithmetic";
+}
+
+TEST(tail_slack, uniform_value) {
+  tail_slack h;
+  EXPECT_EQ(h.slack_for(), sim::kSecond);
+  tail_slack h2(5 * sim::kMillisecond);
+  EXPECT_EQ(h2.slack_for(), 5 * sim::kMillisecond);
+}
+
+TEST(fairness_slack, first_packet_gets_zero) {
+  fairness_slack vc(sim::kGbps);
+  EXPECT_EQ(vc.next(1, 1500, 0), 0);
+}
+
+TEST(fairness_slack, backlogged_flow_accumulates_service_gap) {
+  // A flow sending 1500 B packets back-to-back at time 0 against
+  // r_est = 1 Gbps: packet i owes i x 12 us of virtual-clock credit.
+  fairness_slack vc(sim::kGbps);
+  EXPECT_EQ(vc.next(1, 1500, 0), 0);
+  EXPECT_EQ(vc.next(1, 1500, 0), 12 * sim::kMicrosecond);
+  EXPECT_EQ(vc.next(1, 1500, 0), 24 * sim::kMicrosecond);
+}
+
+TEST(fairness_slack, paced_flow_at_rest_keeps_zero_slack) {
+  // Sending exactly at r_est: the inter-arrival gap cancels the service
+  // term, slack stays 0 (the flow is at its fair rate).
+  fairness_slack vc(sim::kGbps);
+  sim::time_ps t = 0;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(vc.next(1, 1500, t), 0);
+    t += 12 * sim::kMicrosecond;
+  }
+}
+
+TEST(fairness_slack, slow_flow_never_accumulates) {
+  // Slower than r_est: slack clamps at zero (max(0, ...)).
+  fairness_slack vc(sim::kGbps);
+  sim::time_ps t = 0;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(vc.next(1, 1500, t), 0);
+    t += 24 * sim::kMicrosecond;  // half rate
+  }
+}
+
+TEST(fairness_slack, flows_tracked_independently) {
+  fairness_slack vc(sim::kGbps);
+  EXPECT_EQ(vc.next(1, 1500, 0), 0);
+  EXPECT_EQ(vc.next(1, 1500, 0), 12 * sim::kMicrosecond);
+  EXPECT_EQ(vc.next(2, 1500, 0), 0) << "new flow starts fresh";
+}
+
+TEST(fairness_slack, smaller_rest_means_larger_slack) {
+  fairness_slack fast(sim::kGbps);
+  fairness_slack slow(sim::kGbps / 100);
+  (void)fast.next(1, 1500, 0);
+  (void)slow.next(1, 1500, 0);
+  EXPECT_LT(fast.next(1, 1500, 0), slow.next(1, 1500, 0));
+}
+
+TEST(fairness_slack, weighted_fairness_via_per_flow_rest) {
+  // A flow given 2x the r_est accumulates half the slack: it is allowed
+  // twice the rate before being deprioritized (§3.3's weighted extension).
+  fairness_slack vc1(sim::kGbps);
+  fairness_slack vc2(2 * sim::kGbps);
+  (void)vc1.next(1, 1500, 0);
+  (void)vc2.next(1, 1500, 0);
+  EXPECT_EQ(vc1.next(1, 1500, 0), 2 * vc2.next(1, 1500, 0));
+}
+
+}  // namespace
+}  // namespace ups::core

@@ -1,0 +1,93 @@
+// Unit tests for the ordered packet container shared by all rank-based
+// schedulers.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sched/keyed_queue.h"
+
+namespace ups::sched {
+namespace {
+
+net::packet_ptr pkt(std::uint64_t id, std::uint32_t bytes = 100) {
+  auto p = std::make_unique<net::packet>();
+  p->id = id;
+  p->size_bytes = bytes;
+  return p;
+}
+
+TEST(keyed_queue, empty_state) {
+  keyed_queue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.bytes(), 0u);
+  EXPECT_EQ(q.pop_min(), nullptr);
+  EXPECT_EQ(q.pop_max(), nullptr);
+  EXPECT_FALSE(q.min_key().has_value());
+  EXPECT_FALSE(q.max_key().has_value());
+}
+
+TEST(keyed_queue, min_max_extraction) {
+  keyed_queue q;
+  q.insert(30, pkt(3));
+  q.insert(10, pkt(1));
+  q.insert(20, pkt(2));
+  EXPECT_EQ(*q.min_key(), 10);
+  EXPECT_EQ(*q.max_key(), 30);
+  EXPECT_EQ(q.pop_min()->id, 1u);
+  EXPECT_EQ(q.pop_max()->id, 3u);
+  EXPECT_EQ(q.pop_min()->id, 2u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(keyed_queue, fcfs_within_equal_keys) {
+  keyed_queue q;
+  for (std::uint64_t i = 1; i <= 8; ++i) q.insert(7, pkt(i));
+  for (std::uint64_t i = 1; i <= 8; ++i) EXPECT_EQ(q.pop_min()->id, i);
+}
+
+TEST(keyed_queue, pop_max_takes_latest_among_equal_keys) {
+  // Among equal keys, pop_max removes the most recent arrival — the right
+  // victim for drop-highest-rank (keep the oldest committed work).
+  keyed_queue q;
+  q.insert(5, pkt(1));
+  q.insert(5, pkt(2));
+  EXPECT_EQ(q.pop_max()->id, 2u);
+}
+
+TEST(keyed_queue, byte_accounting_tracks_both_ends) {
+  keyed_queue q;
+  q.insert(1, pkt(1, 1000));
+  q.insert(2, pkt(2, 500));
+  q.insert(3, pkt(3, 250));
+  EXPECT_EQ(q.bytes(), 1750u);
+  (void)q.pop_min();
+  EXPECT_EQ(q.bytes(), 750u);
+  (void)q.pop_max();
+  EXPECT_EQ(q.bytes(), 500u);
+}
+
+TEST(keyed_queue, negative_keys_order_correctly) {
+  keyed_queue q;
+  q.insert(-100, pkt(1));
+  q.insert(0, pkt(2));
+  q.insert(-200, pkt(3));
+  EXPECT_EQ(q.pop_min()->id, 3u);
+  EXPECT_EQ(q.pop_min()->id, 1u);
+  EXPECT_EQ(q.pop_min()->id, 2u);
+}
+
+TEST(keyed_queue, interleaved_operations) {
+  keyed_queue q;
+  q.insert(10, pkt(1));
+  q.insert(5, pkt(2));
+  EXPECT_EQ(q.pop_min()->id, 2u);
+  q.insert(1, pkt(3));
+  q.insert(20, pkt(4));
+  EXPECT_EQ(q.pop_min()->id, 3u);
+  EXPECT_EQ(q.pop_max()->id, 4u);
+  EXPECT_EQ(q.pop_min()->id, 1u);
+}
+
+}  // namespace
+}  // namespace ups::sched

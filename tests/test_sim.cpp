@@ -1,0 +1,177 @@
+// Unit tests for the discrete-event simulation kernel.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace ups::sim {
+namespace {
+
+TEST(simulator, starts_at_zero) {
+  simulator s;
+  EXPECT_EQ(s.now(), 0);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.events_processed(), 0u);
+}
+
+TEST(simulator, runs_events_in_time_order) {
+  simulator s;
+  std::vector<int> order;
+  s.schedule_at(30, [&] { order.push_back(3); });
+  s.schedule_at(10, [&] { order.push_back(1); });
+  s.schedule_at(20, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30);
+}
+
+TEST(simulator, same_time_events_run_in_scheduling_order) {
+  simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(simulator, schedule_in_is_relative) {
+  simulator s;
+  time_ps seen = -1;
+  s.schedule_at(100, [&] {
+    s.schedule_in(50, [&] { seen = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(seen, 150);
+}
+
+TEST(simulator, cancellation_skips_event) {
+  simulator s;
+  bool ran = false;
+  auto h = s.schedule_at(10, [&] { ran = true; });
+  s.cancel(h);
+  s.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(s.events_processed(), 0u);
+}
+
+TEST(simulator, cancel_unknown_handle_is_noop) {
+  simulator s;
+  s.cancel(simulator::handle{});
+  s.cancel(simulator::handle{12345});
+  bool ran = false;
+  s.schedule_at(1, [&] { ran = true; });
+  s.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(simulator, cancel_one_of_equal_time_events) {
+  simulator s;
+  std::vector<int> order;
+  s.schedule_at(5, [&] { order.push_back(0); });
+  auto h = s.schedule_at(5, [&] { order.push_back(1); });
+  s.schedule_at(5, [&] { order.push_back(2); });
+  s.cancel(h);
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 2}));
+}
+
+TEST(simulator, run_until_advances_clock_without_events) {
+  simulator s;
+  s.run_until(12345);
+  EXPECT_EQ(s.now(), 12345);
+}
+
+TEST(simulator, run_until_executes_boundary_events) {
+  simulator s;
+  int count = 0;
+  s.schedule_at(10, [&] { ++count; });
+  s.schedule_at(20, [&] { ++count; });
+  s.schedule_at(21, [&] { ++count; });
+  s.run_until(20);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(s.now(), 20);
+  s.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(simulator, scheduling_into_past_throws) {
+  simulator s;
+  s.schedule_at(100, [] {});
+  s.run();
+  EXPECT_THROW(s.schedule_at(50, [] {}), std::logic_error);
+}
+
+TEST(simulator, events_can_schedule_more_events) {
+  simulator s;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) s.schedule_in(1, recurse);
+  };
+  s.schedule_at(0, recurse);
+  s.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(s.now(), 99);
+  EXPECT_EQ(s.events_processed(), 100u);
+}
+
+TEST(simulator, late_events_run_after_all_same_time_normals) {
+  simulator s;
+  std::vector<int> order;
+  s.schedule_late(10, [&] { order.push_back(99); });
+  s.schedule_at(10, [&] { order.push_back(1); });
+  s.schedule_at(10, [&] {
+    order.push_back(2);
+    // A normal event scheduled *during* processing of time 10 still runs
+    // before the pending late event.
+    s.schedule_in(0, [&] { order.push_back(3); });
+  });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 99}));
+}
+
+TEST(simulator, late_events_precede_later_normals) {
+  simulator s;
+  std::vector<int> order;
+  s.schedule_late(10, [&] { order.push_back(1); });
+  s.schedule_at(11, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(simulator, late_events_are_cancellable) {
+  simulator s;
+  bool ran = false;
+  auto h = s.schedule_late(5, [&] { ran = true; });
+  s.cancel(h);
+  s.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(simulator, late_events_fifo_among_themselves) {
+  simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    s.schedule_late(3, [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(simulator, zero_delay_event_runs_after_pending_same_time) {
+  // A completion scheduled "in 0" at time t runs after events already queued
+  // for t, preserving causal ordering within a timestamp.
+  simulator s;
+  std::vector<int> order;
+  s.schedule_at(10, [&] {
+    order.push_back(1);
+    s.schedule_in(0, [&] { order.push_back(3); });
+  });
+  s.schedule_at(10, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace ups::sim

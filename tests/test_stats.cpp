@@ -1,0 +1,111 @@
+// Tests for the statistics utilities.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/summary.h"
+#include "stats/table.h"
+
+namespace ups::stats {
+namespace {
+
+TEST(sample_set, mean_and_quantiles) {
+  sample_set s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_NEAR(s.quantile(0.5), 50.5, 0.5);
+  EXPECT_NEAR(s.quantile(0.99), 99.0, 1.0);
+}
+
+TEST(sample_set, quantile_interpolates) {
+  sample_set s;
+  s.add(0.0);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 2.5);
+  EXPECT_DOUBLE_EQ(s.quantile(0.75), 7.5);
+}
+
+TEST(sample_set, cdf_and_ccdf) {
+  sample_set s;
+  for (int i = 1; i <= 10; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.cdf_at(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.cdf_at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.cdf_at(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.ccdf_at(9.0), 0.1);
+}
+
+TEST(sample_set, cdf_points_are_monotone) {
+  sample_set s;
+  for (int i = 0; i < 1000; ++i) s.add((i * 37) % 1000);
+  const auto pts = s.cdf_points(21);
+  ASSERT_EQ(pts.size(), 21u);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GE(pts[i].value, pts[i - 1].value);
+    EXPECT_GT(pts[i].fraction, pts[i - 1].fraction);
+  }
+}
+
+TEST(sample_set, empty_behaviour) {
+  sample_set s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_THROW(static_cast<void>(s.quantile(0.5)), std::logic_error);
+  EXPECT_DOUBLE_EQ(s.cdf_at(1.0), 0.0);
+}
+
+TEST(sample_set, add_after_quantile_resorts) {
+  sample_set s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 5.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+}
+
+TEST(jain, perfectly_fair) {
+  EXPECT_DOUBLE_EQ(jain_index({5, 5, 5, 5}), 1.0);
+}
+
+TEST(jain, perfectly_unfair) {
+  // One of n users gets everything: J = 1/n.
+  EXPECT_DOUBLE_EQ(jain_index({10, 0, 0, 0}), 0.25);
+}
+
+TEST(jain, known_intermediate_value) {
+  // J = (1+2+3)^2 / (3 * (1+4+9)) = 36/42.
+  EXPECT_NEAR(jain_index({1, 2, 3}), 36.0 / 42.0, 1e-12);
+}
+
+TEST(jain, degenerate_inputs) {
+  EXPECT_DOUBLE_EQ(jain_index({}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_index({0, 0, 0}), 1.0);
+}
+
+TEST(table, renders_aligned_rows) {
+  table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta-long", "2.5"});
+  std::ostringstream os;
+  t.print(os);
+  const auto out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("beta-long"), std::string::npos);
+  EXPECT_NE(out.find("value"), std::string::npos);
+}
+
+TEST(table, row_width_mismatch_throws) {
+  table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(table, formatting_helpers) {
+  EXPECT_EQ(table::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(table::fmt_frac(0.0), "0.0");
+  EXPECT_EQ(table::fmt_frac(0.0021), "0.0021");
+  EXPECT_EQ(table::fmt_frac(0.00002), "2.0e-05");
+  EXPECT_EQ(table::fmt_pct(0.5, 0), "50%");
+}
+
+}  // namespace
+}  // namespace ups::stats

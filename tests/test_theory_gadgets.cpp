@@ -1,0 +1,146 @@
+// The paper's appendix counterexamples, executed end to end.
+//
+// Each gadget's prescribed schedule is first validated against the exact
+// times printed in the paper's figures (this doubles as a timing test of
+// the whole simulator), then fed to the replay engine.
+#include <gtest/gtest.h>
+
+#include "gadget_runner.h"
+#include "topo/gadgets.h"
+
+namespace ups::testing {
+namespace {
+
+using core::replay_mode;
+
+// --- original schedules reproduce the figures exactly ---
+
+void expect_original_matches_figure(const topo::gadget& g) {
+  const auto run = run_gadget_original(g);
+  ASSERT_EQ(run.trace.packets.size(), g.packets.size());
+  for (const auto& r : run.trace.packets) {
+    EXPECT_EQ(r.egress_time, run.expected_out.at(r.id))
+        << "packet id " << r.id << " in " << g.topo.name;
+  }
+}
+
+TEST(gadget_originals, fig5_case1_matches_paper_times) {
+  expect_original_matches_figure(topo::fig5_case(1));
+}
+
+TEST(gadget_originals, fig5_case2_matches_paper_times) {
+  expect_original_matches_figure(topo::fig5_case(2));
+}
+
+TEST(gadget_originals, fig6_matches_paper_times) {
+  expect_original_matches_figure(topo::fig6_priority_cycle());
+}
+
+TEST(gadget_originals, fig7_matches_paper_times) {
+  expect_original_matches_figure(topo::fig7_lstf_failure());
+}
+
+// --- Appendix F: the priority cycle (Figure 6) ---
+
+TEST(fig6, lstf_replays_two_congestion_points_perfectly) {
+  const auto run = run_gadget_original(topo::fig6_priority_cycle());
+  const auto res = replay_gadget(run, replay_mode::lstf);
+  EXPECT_EQ(res.overdue, 0u) << "LSTF must replay <=2 congestion points";
+}
+
+TEST(fig6, edf_replays_perfectly_too) {
+  const auto run = run_gadget_original(topo::fig6_priority_cycle());
+  const auto res = replay_gadget(run, replay_mode::edf);
+  EXPECT_EQ(res.overdue, 0u);
+}
+
+TEST(fig6, simple_priorities_fail) {
+  // priority(p) = o(p), the most intuitive assignment (§2.3(7)); the cycle
+  // priority(a) < priority(b) < priority(c) < priority(a) dooms any static
+  // assignment.
+  const auto run = run_gadget_original(topo::fig6_priority_cycle());
+  const auto res = replay_gadget(run, replay_mode::priority_output_time);
+  EXPECT_GT(res.overdue, 0u);
+}
+
+TEST(fig6, omniscient_replays_perfectly) {
+  const auto run = run_gadget_original(topo::fig6_priority_cycle());
+  const auto res = replay_gadget(run, replay_mode::omniscient);
+  EXPECT_EQ(res.overdue, 0u);
+}
+
+// --- Appendix G.3: LSTF fails at three congestion points (Figure 7) ---
+
+TEST(fig7, lstf_replay_fails_with_three_congestion_points) {
+  const auto run = run_gadget_original(topo::fig7_lstf_failure());
+  const auto res = replay_gadget(run, replay_mode::lstf);
+  EXPECT_GT(res.overdue, 0u);
+}
+
+TEST(fig7, omniscient_still_replays_perfectly) {
+  const auto run = run_gadget_original(topo::fig7_lstf_failure());
+  const auto res = replay_gadget(run, replay_mode::omniscient);
+  EXPECT_EQ(res.overdue, 0u);
+}
+
+TEST(fig7, exactly_one_packet_overdue_under_lstf) {
+  // The paper's analysis: the slack tie at the second congestion point
+  // forces exactly one of {a, c2} overdue.
+  const auto run = run_gadget_original(topo::fig7_lstf_failure());
+  const auto res = replay_gadget(run, replay_mode::lstf);
+  EXPECT_EQ(res.overdue, 1u);
+}
+
+// --- Appendix C: no UPS under black-box initialization (Figure 5) ---
+
+TEST(fig5, a_and_x_attributes_identical_but_orders_conflict) {
+  const auto run1 = run_gadget_original(topo::fig5_case(1));
+  const auto run2 = run_gadget_original(topo::fig5_case(2));
+
+  auto find = [](const net::trace& tr, std::uint64_t id) {
+    for (const auto& r : tr.packets) {
+      if (r.id == id) return r;
+    }
+    throw std::logic_error("packet not found");
+  };
+  // Black-box header inputs (i, o, path) for a and x match across cases.
+  for (const char* name : {"a", "x"}) {
+    const auto r1 = find(run1.trace, run1.id_of.at(name));
+    const auto r2 = find(run2.trace, run2.id_of.at(name));
+    EXPECT_EQ(r1.ingress_time, r2.ingress_time) << name;
+    EXPECT_EQ(r1.egress_time, r2.egress_time) << name;
+    EXPECT_EQ(r1.path, r2.path) << name;
+  }
+}
+
+TEST(fig5, any_deterministic_blackbox_scheduler_fails_one_case) {
+  // A deterministic black-box UPS must order a and x identically at their
+  // shared first hop in both cases; whichever case wanted the other order
+  // sees an overdue packet. LSTF is deterministic black-box, so it must
+  // fail at least one case (and the omniscient initialization, which is
+  // not black-box, must pass both).
+  const auto run1 = run_gadget_original(topo::fig5_case(1));
+  const auto run2 = run_gadget_original(topo::fig5_case(2));
+  const auto lstf1 = replay_gadget(run1, replay_mode::lstf);
+  const auto lstf2 = replay_gadget(run2, replay_mode::lstf);
+  EXPECT_GT(lstf1.overdue + lstf2.overdue, 0u);
+
+  EXPECT_EQ(replay_gadget(run1, replay_mode::omniscient).overdue, 0u);
+  EXPECT_EQ(replay_gadget(run2, replay_mode::omniscient).overdue, 0u);
+}
+
+TEST(fig5, edf_equals_lstf_on_both_cases) {
+  for (const int c : {1, 2}) {
+    const auto run = run_gadget_original(topo::fig5_case(c));
+    const auto lstf = replay_gadget(run, replay_mode::lstf);
+    const auto edf = replay_gadget(run, replay_mode::edf);
+    ASSERT_EQ(lstf.outcomes.size(), edf.outcomes.size());
+    for (std::size_t i = 0; i < lstf.outcomes.size(); ++i) {
+      EXPECT_EQ(lstf.outcomes[i].replay_out, edf.outcomes[i].replay_out)
+          << "case " << c << " packet " << lstf.outcomes[i].id;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ups::testing

@@ -1,0 +1,130 @@
+// Tests for schedule-trace serialization: round-trips, error handling, and
+// replaying a deserialized trace.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/registry.h"
+#include "core/replay.h"
+#include "net/network.h"
+#include "net/trace.h"
+#include "net/trace_io.h"
+#include "sim/simulator.h"
+#include "topo/basic.h"
+#include "traffic/size_dist.h"
+#include "traffic/udp_app.h"
+#include "traffic/workload.h"
+
+namespace ups::net {
+namespace {
+
+struct recorded {
+  topo::topology topology;
+  trace tr;
+};
+
+recorded small_run(bool hop_times) {
+  recorded out;
+  out.topology = topo::dumbbell(3, 10 * sim::kGbps, sim::kGbps);
+  sim::simulator sim;
+  network net(sim);
+  topo::populate(out.topology, net);
+  net.set_buffer_bytes(0);
+  net.set_scheduler_factory(
+      core::make_factory(core::sched_kind::random, 5, &net));
+  net.build();
+  trace_recorder rec(net, hop_times);
+  traffic::fixed_size dist(15'000);
+  traffic::workload_config wcfg;
+  wcfg.packet_budget = 800;
+  auto wl = traffic::generate(net, out.topology, dist, wcfg);
+  traffic::udp_app::options aopt;
+  aopt.record_hops = hop_times;
+  traffic::udp_app app(net, std::move(wl.flows), aopt);
+  sim.run();
+  out.tr = rec.take();
+  return out;
+}
+
+void expect_equal(const trace& a, const trace& b) {
+  ASSERT_EQ(a.packets.size(), b.packets.size());
+  for (std::size_t i = 0; i < a.packets.size(); ++i) {
+    const auto& x = a.packets[i];
+    const auto& y = b.packets[i];
+    EXPECT_EQ(x.id, y.id);
+    EXPECT_EQ(x.flow_id, y.flow_id);
+    EXPECT_EQ(x.seq_in_flow, y.seq_in_flow);
+    EXPECT_EQ(x.size_bytes, y.size_bytes);
+    EXPECT_EQ(x.src_host, y.src_host);
+    EXPECT_EQ(x.dst_host, y.dst_host);
+    EXPECT_EQ(x.ingress_time, y.ingress_time);
+    EXPECT_EQ(x.egress_time, y.egress_time);
+    EXPECT_EQ(x.queueing_delay, y.queueing_delay);
+    EXPECT_EQ(x.flow_size_bytes, y.flow_size_bytes);
+    EXPECT_EQ(x.path, y.path);
+    EXPECT_EQ(x.hop_departs, y.hop_departs);
+  }
+}
+
+TEST(trace_io, stream_round_trip) {
+  const auto r = small_run(false);
+  std::stringstream ss;
+  write_trace(ss, r.tr);
+  const auto back = read_trace(ss);
+  expect_equal(r.tr, back);
+}
+
+TEST(trace_io, round_trip_preserves_hop_times) {
+  const auto r = small_run(true);
+  std::stringstream ss;
+  write_trace(ss, r.tr);
+  const auto back = read_trace(ss);
+  expect_equal(r.tr, back);
+  ASSERT_FALSE(back.packets.empty());
+  EXPECT_FALSE(back.packets.front().hop_departs.empty());
+}
+
+TEST(trace_io, bad_magic_throws) {
+  std::stringstream ss("not-a-trace\n0\n");
+  EXPECT_THROW(static_cast<void>(read_trace(ss)), std::runtime_error);
+}
+
+TEST(trace_io, truncated_throws) {
+  const auto r = small_run(false);
+  std::stringstream ss;
+  write_trace(ss, r.tr);
+  std::string text = ss.str();
+  text.resize(text.size() / 2);
+  std::stringstream cut(text);
+  EXPECT_THROW(static_cast<void>(read_trace(cut)), std::runtime_error);
+}
+
+TEST(trace_io, file_round_trip_and_replay_equivalence) {
+  const auto r = small_run(false);
+  const std::string path = ::testing::TempDir() + "/ups_trace_test.txt";
+  save_trace(path, r.tr);
+  const auto back = load_trace(path);
+  std::remove(path.c_str());
+
+  // The deserialized trace must replay identically to the in-memory one.
+  core::replay_options opt;
+  opt.mode = core::replay_mode::lstf;
+  opt.keep_outcomes = true;
+  const auto& topology = r.topology;
+  const auto builder = [&topology](network& n) { topo::populate(topology, n); };
+  const auto res_a = core::replay_trace(r.tr, builder, opt);
+  const auto res_b = core::replay_trace(back, builder, opt);
+  ASSERT_EQ(res_a.outcomes.size(), res_b.outcomes.size());
+  for (std::size_t i = 0; i < res_a.outcomes.size(); ++i) {
+    EXPECT_EQ(res_a.outcomes[i].replay_out, res_b.outcomes[i].replay_out);
+  }
+}
+
+TEST(trace_io, missing_file_throws) {
+  EXPECT_THROW(static_cast<void>(load_trace("/nonexistent/ups.trace")),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ups::net

@@ -1,0 +1,88 @@
+// Unit tests for time/bandwidth arithmetic and the deterministic RNG.
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+#include "sim/time.h"
+#include "sim/units.h"
+
+namespace ups::sim {
+namespace {
+
+TEST(units, transmission_time_is_exact_for_paper_rates) {
+  // 1500 B at 1 Gbps = 12 us, the paper's threshold T.
+  EXPECT_EQ(transmission_time(1500, kGbps), 12 * kMicrosecond);
+  EXPECT_EQ(transmission_time(1500, 10 * kGbps), 1'200 * kNanosecond);
+  EXPECT_EQ(transmission_time(1500, kGbps * 5 / 2), 4'800 * kNanosecond);
+  // 125 B (1000 bits) at 1 Gbps = 1 us: the gadget unit.
+  EXPECT_EQ(transmission_time(125, kGbps), kMicrosecond);
+}
+
+TEST(units, transmission_time_handles_large_sizes) {
+  // 1 GB at 1 Gbps = 8 seconds; must not overflow.
+  EXPECT_EQ(transmission_time(1'000'000'000, kGbps), 8 * kSecond);
+}
+
+TEST(units, bytes_in_inverts_transmission_time) {
+  for (const bits_per_sec rate : {kGbps, 10 * kGbps, kGbps / 2}) {
+    for (const std::int64_t bytes : {40LL, 125LL, 1460LL, 1500LL}) {
+      EXPECT_EQ(bytes_in(transmission_time(bytes, rate), rate), bytes);
+    }
+  }
+}
+
+TEST(units, time_conversions) {
+  EXPECT_DOUBLE_EQ(to_seconds(kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(to_millis(kSecond), 1000.0);
+  EXPECT_DOUBLE_EQ(to_micros(kMicrosecond), 1.0);
+  EXPECT_EQ(from_seconds(0.5), kSecond / 2);
+}
+
+TEST(rng, deterministic_across_instances) {
+  rng a(7);
+  rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.raw(), b.raw());
+}
+
+TEST(rng, derived_streams_differ) {
+  rng a = rng::derive(7, 1);
+  rng b = rng::derive(7, 2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.raw() == b.raw()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(rng, uniform_in_unit_interval) {
+  rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(rng, next_below_bounds) {
+  rng r(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(17), 17u);
+}
+
+TEST(rng, exponential_mean_close) {
+  rng r(11);
+  double sum = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(250.0);
+  EXPECT_NEAR(sum / n, 250.0, 5.0);
+}
+
+TEST(rng, bounded_pareto_within_bounds) {
+  rng r(13);
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = r.bounded_pareto(1.2, 1460, 3e6);
+    EXPECT_GE(v, 1460.0 * 0.999);
+    EXPECT_LE(v, 3e6 * 1.001);
+  }
+}
+
+}  // namespace
+}  // namespace ups::sim
