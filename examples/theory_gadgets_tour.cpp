@@ -36,7 +36,7 @@ gadget_run run_original(const topo::gadget& g) {
   net::trace_recorder recorder(net, true);
   std::uint64_t next_id = 1;
   for (const auto& gp : g.packets) {
-    auto p = std::make_unique<net::packet>();
+    net::packet_ptr p = net::make_packet();
     p->id = next_id++;
     p->flow_id = p->id;
     p->size_bytes = gp.size_bytes;

@@ -14,17 +14,16 @@
 
 namespace ups::core {
 
-class edf final : public sched::rank_scheduler {
+class edf final : public sched::rank_scheduler_base<edf> {
  public:
   // `net` must outlive the scheduler; tmin lookups walk the packet's path.
   edf(std::int32_t port_id, const net::network& net, sim::bits_per_sec rate)
-      : rank_scheduler(port_id, /*drop_highest_rank=*/true),
+      : rank_scheduler_base(port_id, /*drop_highest_rank=*/true),
         net_(net),
         rate_(rate) {}
 
- protected:
   [[nodiscard]] std::int64_t rank_of(const net::packet& p,
-                                     sim::time_ps /*now*/) const override {
+                                     sim::time_ps /*now*/) const {
     // On arrival at the port of router path[k], p.hop == k + 1.
     const std::size_t here = p.hop - 1;
     const sim::time_ps tx =

@@ -21,11 +21,11 @@
 
 namespace ups::core {
 
-class lstf final : public sched::rank_scheduler {
+class lstf final : public sched::rank_scheduler_base<lstf> {
  public:
   lstf(std::int32_t port_id, sim::bits_per_sec rate, bool preemptive = false,
        bool drop_highest_slack = true)
-      : rank_scheduler(port_id, drop_highest_slack),
+      : rank_scheduler_base(port_id, drop_highest_slack),
         rate_(rate),
         preemptive_(preemptive) {}
 
@@ -33,9 +33,8 @@ class lstf final : public sched::rank_scheduler {
     return preemptive_;
   }
 
- protected:
   [[nodiscard]] std::int64_t rank_of(const net::packet& p,
-                                     sim::time_ps now) const override {
+                                     sim::time_ps now) const noexcept {
     const sim::time_ps tx =
         rate_ == sim::kInfiniteRate
             ? 0

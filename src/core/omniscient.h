@@ -12,14 +12,13 @@
 
 namespace ups::core {
 
-class omniscient final : public sched::rank_scheduler {
+class omniscient final : public sched::rank_scheduler_base<omniscient> {
  public:
   explicit omniscient(std::int32_t port_id = -1)
-      : rank_scheduler(port_id, /*drop_highest_rank=*/false) {}
+      : rank_scheduler_base(port_id, /*drop_highest_rank=*/false) {}
 
- protected:
   [[nodiscard]] std::int64_t rank_of(const net::packet& p,
-                                     sim::time_ps /*now*/) const override {
+                                     sim::time_ps /*now*/) const noexcept {
     // On arrival at the port of router path[k], p.hop == k + 1.
     const std::size_t here = p.hop - 1;
     return here < p.hop_deadlines.size() ? p.hop_deadlines[here] : 0;

@@ -51,7 +51,7 @@ replay_result replay_trace(const net::trace& tr, const topology_builder& topo,
   // Re-inject every recorded packet at its ingress at exactly i(p), with the
   // header initialized per mode from the recorded schedule.
   for (const auto& r : tr.packets) {
-    auto p = std::make_unique<net::packet>();
+    net::packet_ptr p = net.pool().make();
     p->id = r.id;
     p->flow_id = r.flow_id;
     p->seq_in_flow = r.seq_in_flow;

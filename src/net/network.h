@@ -16,6 +16,7 @@
 
 #include "net/node.h"
 #include "net/packet.h"
+#include "net/packet_pool.h"
 #include "net/port.h"
 #include "net/routing.h"
 #include "net/scheduler.h"
@@ -113,6 +114,10 @@ class network {
     return tmin(p, 0);
   }
 
+  // Arena every traffic source and transport should draw packets from; in
+  // steady state packet create/destroy is a freelist pop/push.
+  [[nodiscard]] packet_pool& pool() noexcept { return pool_; }
+
   network_hooks& hooks() noexcept { return hooks_; }
   [[nodiscard]] const network_stats& stats() const noexcept { return stats_; }
   [[nodiscard]] sim::simulator& sim() noexcept { return sim_; }
@@ -134,6 +139,9 @@ class network {
   [[nodiscard]] const port* find_port(node_id from, node_id to) const;
 
   sim::simulator& sim_;
+  // Declared before every member that can hold packets (ports_, in_flight_)
+  // so it is destroyed last: pooled packets return here on destruction.
+  packet_pool pool_;
   std::vector<node> nodes_;
   std::vector<link_spec> links_;
   std::vector<std::unique_ptr<port>> ports_;

@@ -66,8 +66,59 @@ struct packet {
   [[nodiscard]] bool at_last_router() const noexcept {
     return hop + 1 >= path.size();
   }
+
+  // Restores a recycled packet to the freshly-constructed state while
+  // keeping the capacity of the embedded vectors, so pooled reuse performs
+  // no heap allocation. Must cover every field above — scratch fields like
+  // sched_key_port and tx_remaining are load-bearing for correctness, not
+  // just hygiene.
+  void reset() noexcept {
+    id = 0;
+    flow_id = 0;
+    seq_in_flow = 0;
+    size_bytes = 0;
+    kind = packet_kind::data;
+    src_host = kInvalidNode;
+    dst_host = kInvalidNode;
+    path.clear();
+    hop = 0;
+    slack = 0;
+    priority = 0;
+    deadline = 0;
+    fifo_plus_wait = 0;
+    hop_deadlines.clear();
+    flow_size_bytes = 0;
+    remaining_flow_bytes = 0;
+    tseq = 0;
+    tack = 0;
+    sched_key = 0;
+    sched_key_port = -1;
+    tx_remaining = -1;
+    port_enqueue_time = 0;
+    created_at = 0;
+    ingress_time = -1;
+    queueing_delay = 0;
+    hop_departs.clear();
+    record_hops = false;
+  }
 };
 
-using packet_ptr = std::unique_ptr<packet>;
+class packet_pool;
+
+// Deleter for pooled packets: returns the packet to its owning pool, or
+// frees it outright when it was created without one (tests, ad-hoc tools).
+// Defined in packet_pool.cpp so that packet.h stays dependency-free.
+struct packet_recycler {
+  packet_pool* pool = nullptr;
+  void operator()(packet* p) const noexcept;
+};
+
+using packet_ptr = std::unique_ptr<packet, packet_recycler>;
+
+// Creates an unpooled packet (destroyed with delete). Hot paths should use
+// packet_pool::make() instead; this exists for tests and one-off tooling.
+[[nodiscard]] inline packet_ptr make_packet() {
+  return packet_ptr(new packet, packet_recycler{});
+}
 
 }  // namespace ups::net

@@ -1,0 +1,14 @@
+#include "net/packet_pool.h"
+
+namespace ups::net {
+
+void packet_recycler::operator()(packet* p) const noexcept {
+  if (p == nullptr) return;
+  if (pool != nullptr) {
+    pool->recycle(p);
+  } else {
+    delete p;
+  }
+}
+
+}  // namespace ups::net

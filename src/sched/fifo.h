@@ -1,36 +1,23 @@
 // First-in first-out: the baseline the paper replays and compares against.
+//
+// Expressed as a rank scheduler with a constant rank: the shared queue's
+// FCFS tie-break among equal keys *is* the FIFO order, so the discipline
+// rides the same allocation-free keyed_queue as every other policy.
 #pragma once
 
-#include <deque>
-
-#include "net/scheduler.h"
+#include "sched/rank_scheduler.h"
 
 namespace ups::sched {
 
-class fifo final : public net::scheduler {
+class fifo final : public rank_scheduler_base<fifo> {
  public:
-  void enqueue(net::packet_ptr p, sim::time_ps /*now*/) override {
-    bytes_ += p->size_bytes;
-    q_.push_back(std::move(p));
-  }
+  explicit fifo(std::int32_t port_id = -1)
+      : rank_scheduler_base(port_id, /*drop_highest_rank=*/false) {}
 
-  net::packet_ptr dequeue(sim::time_ps /*now*/) override {
-    if (q_.empty()) return nullptr;
-    net::packet_ptr p = std::move(q_.front());
-    q_.pop_front();
-    bytes_ -= p->size_bytes;
-    return p;
+  [[nodiscard]] std::int64_t rank_of(const net::packet& /*p*/,
+                                     sim::time_ps /*now*/) const noexcept {
+    return 0;  // arrival sequence breaks the tie: pure FCFS
   }
-
-  [[nodiscard]] bool empty() const noexcept override { return q_.empty(); }
-  [[nodiscard]] std::size_t packets() const noexcept override {
-    return q_.size();
-  }
-  [[nodiscard]] std::size_t bytes() const noexcept override { return bytes_; }
-
- private:
-  std::deque<net::packet_ptr> q_;
-  std::size_t bytes_ = 0;
 };
 
 }  // namespace ups::sched

@@ -1,37 +1,30 @@
 // Last-in first-out: used by the paper as a hard-to-replay original schedule
 // (it produces a strongly skewed slack distribution).
+//
+// Expressed as a rank scheduler with a strictly decreasing rank per arrival,
+// so the newest queued packet is always the minimum of the shared queue.
 #pragma once
 
-#include <vector>
-
-#include "net/scheduler.h"
+#include "sched/rank_scheduler.h"
 
 namespace ups::sched {
 
-class lifo final : public net::scheduler {
+class lifo final : public rank_scheduler_base<lifo> {
  public:
-  void enqueue(net::packet_ptr p, sim::time_ps /*now*/) override {
-    bytes_ += p->size_bytes;
-    q_.push_back(std::move(p));
-  }
+  explicit lifo(std::int32_t port_id = -1)
+      : rank_scheduler_base(port_id, /*drop_highest_rank=*/false) {}
 
-  net::packet_ptr dequeue(sim::time_ps /*now*/) override {
-    if (q_.empty()) return nullptr;
-    net::packet_ptr p = std::move(q_.back());
-    q_.pop_back();
-    bytes_ -= p->size_bytes;
-    return p;
+  [[nodiscard]] std::int64_t rank_of(const net::packet& /*p*/,
+                                     sim::time_ps /*now*/) const noexcept {
+    return -(++seq_);
   }
-
-  [[nodiscard]] bool empty() const noexcept override { return q_.empty(); }
-  [[nodiscard]] std::size_t packets() const noexcept override {
-    return q_.size();
-  }
-  [[nodiscard]] std::size_t bytes() const noexcept override { return bytes_; }
 
  private:
-  std::vector<net::packet_ptr> q_;
-  std::size_t bytes_ = 0;
+  // rank_of runs exactly once per enqueue: lifo is drop-tail (the base's
+  // evict_for never computes an incoming key) and never preemption-cached,
+  // so the per-arrival counter is safe despite the const interface. Any
+  // new rank_of call site would bump the counter and perturb the order.
+  mutable std::int64_t seq_ = 0;
 };
 
 }  // namespace ups::sched

@@ -1,9 +1,18 @@
-// Base for schedulers that serve the queued packet with the smallest rank.
+// CRTP base for schedulers that serve the queued packet with the smallest
+// rank.
 //
-// The rank is computed once on arrival at the port and cached in
+// The rank is computed once on arrival at the port — through a statically
+// bound, inlinable call to Derived::rank_of, so per-packet rank computation
+// costs no virtual dispatch; the port's single virtual enqueue/dequeue call
+// is the only indirection on the hot path. The computed rank is cached in
 // packet::sched_key so that (a) the owning port can compare the in-service
 // packet against newcomers for preemption and (b) a packet re-enqueued after
 // preemption keeps the rank it was assigned when it first reached this port.
+//
+// Derived classes provide a public, const member
+//     std::int64_t rank_of(const net::packet& p, sim::time_ps now) const
+// (lower = served earlier) and inherit everything else, including the
+// drop-highest-rank eviction policy over the shared keyed_queue.
 #pragma once
 
 #include <cstdint>
@@ -13,12 +22,13 @@
 
 namespace ups::sched {
 
-class rank_scheduler : public net::scheduler {
+template <class Derived>
+class rank_scheduler_base : public net::scheduler {
  public:
   // drop_highest_rank: on buffer overflow evict the worst-ranked packet
   // (the paper's LSTF drop policy drops the highest slack, §3).
-  explicit rank_scheduler(std::int32_t port_id = -1,
-                          bool drop_highest_rank = false)
+  explicit rank_scheduler_base(std::int32_t port_id = -1,
+                               bool drop_highest_rank = false)
       : port_id_(port_id), drop_highest_rank_(drop_highest_rank) {}
 
   void enqueue(net::packet_ptr p, sim::time_ps now) final {
@@ -48,16 +58,11 @@ class rank_scheduler : public net::scheduler {
     return q_.min_key();
   }
 
- protected:
-  // Rank of a packet on arrival at this port; lower = served earlier.
-  [[nodiscard]] virtual std::int64_t rank_of(const net::packet& p,
-                                             sim::time_ps now) const = 0;
-
  private:
   [[nodiscard]] std::int64_t key_for(const net::packet& p,
                                      sim::time_ps now) const {
     if (port_id_ >= 0 && p.sched_key_port == port_id_) return p.sched_key;
-    return rank_of(p, now);
+    return static_cast<const Derived&>(*this).rank_of(p, now);
   }
 
   std::int32_t port_id_;

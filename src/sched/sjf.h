@@ -7,14 +7,13 @@
 
 namespace ups::sched {
 
-class sjf final : public rank_scheduler {
+class sjf final : public rank_scheduler_base<sjf> {
  public:
   explicit sjf(std::int32_t port_id = -1, bool drop_highest_rank = false)
-      : rank_scheduler(port_id, drop_highest_rank) {}
+      : rank_scheduler_base(port_id, drop_highest_rank) {}
 
- protected:
   [[nodiscard]] std::int64_t rank_of(const net::packet& p,
-                                     sim::time_ps /*now*/) const override {
+                                     sim::time_ps /*now*/) const noexcept {
     return static_cast<std::int64_t>(p.flow_size_bytes);
   }
 };

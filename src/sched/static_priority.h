@@ -8,15 +8,14 @@
 
 namespace ups::sched {
 
-class static_priority final : public rank_scheduler {
+class static_priority final : public rank_scheduler_base<static_priority> {
  public:
   explicit static_priority(std::int32_t port_id = -1,
                            bool drop_highest_rank = false)
-      : rank_scheduler(port_id, drop_highest_rank) {}
+      : rank_scheduler_base(port_id, drop_highest_rank) {}
 
- protected:
   [[nodiscard]] std::int64_t rank_of(const net::packet& p,
-                                     sim::time_ps /*now*/) const override {
+                                     sim::time_ps /*now*/) const noexcept {
     return p.priority;
   }
 };

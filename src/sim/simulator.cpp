@@ -2,45 +2,31 @@
 
 #include <cassert>
 #include <stdexcept>
-#include <utility>
 
 namespace ups::sim {
 
-simulator::handle simulator::schedule_at(time_ps t, callback cb) {
-  if (t < now_) throw std::logic_error("simulator: scheduling into the past");
-  const std::uint64_t id = next_id_++;
-  queue_.push(entry{t, 0, id, std::move(cb)});
-  return handle{id};
+void simulator::throw_past_schedule() {
+  throw std::logic_error("simulator: scheduling into the past");
 }
 
-simulator::handle simulator::schedule_late(time_ps t, callback cb) {
-  if (t < now_) throw std::logic_error("simulator: scheduling into the past");
-  const std::uint64_t id = next_id_++;
-  queue_.push(entry{t, 1, id, std::move(cb)});
-  return handle{id};
+void simulator::throw_slab_exhausted() {
+  throw std::length_error("simulator: more than 2^24 concurrent events");
 }
 
 void simulator::cancel(handle h) {
-  if (h.valid()) cancelled_.insert(h.id);
-}
-
-bool simulator::run_next() {
-  while (!queue_.empty()) {
-    // priority_queue::top is const; the callback is moved out via const_cast,
-    // which is safe because the entry is popped before the callback runs.
-    entry e = std::move(const_cast<entry&>(queue_.top()));
-    queue_.pop();
-    if (auto it = cancelled_.find(e.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
-    assert(e.at >= now_);
-    now_ = e.at;
-    ++processed_;
-    e.cb();
-    return true;
-  }
-  return false;
+  if (!h.valid()) return;
+  const std::uint32_t slot =
+      static_cast<std::uint32_t>((h.id & kSlotMask) - 1);
+  const std::uint64_t generation = h.id >> kSlotBits;
+  if (slot >= slots_.size()) return;
+  event_slot& s = slots_[slot];
+  // A stale handle (event already ran or was cancelled, slot possibly
+  // reused) fails the generation check and is ignored.
+  if (s.generation != generation || !s.queued || s.cancelled) return;
+  s.cancelled = true;
+  s.cb.reset();  // release captures now; the heap entry purges lazily
+  assert(live_ > 0);
+  --live_;
 }
 
 void simulator::run() {
@@ -49,10 +35,20 @@ void simulator::run() {
 }
 
 void simulator::run_until(time_ps t) {
-  while (!queue_.empty() && queue_.top().at <= t) {
+  purge_cancelled_top();
+  while (!heap_.empty() && heap_[0].at <= t) {
     run_next();
+    purge_cancelled_top();
   }
   if (now_ < t) now_ = t;
+}
+
+void simulator::purge_cancelled_top() {
+  while (!heap_.empty() && slots_[heap_[0].slot].cancelled) {
+    const std::uint32_t slot = heap_[0].slot;
+    heap_pop_top();
+    retire(slot);
+  }
 }
 
 }  // namespace ups::sim

@@ -1,25 +1,38 @@
 // Discrete-event simulation kernel.
 //
-// A single-threaded event loop over a min-heap keyed by (time, sequence).
-// Events scheduled for the same instant run in scheduling order, which keeps
-// every simulation deterministic. Cancellation is lazy: a cancelled id is
-// skipped when it reaches the top of the heap.
+// A single-threaded event loop over a slab of reusable event slots addressed
+// by generation-stamped handles, ordered by a 4-ary heap of flat
+// (time, phase, sequence) keys. Events scheduled for the same instant run in
+// scheduling order, which keeps every simulation deterministic. Steady-state
+// scheduling is allocation-free: slots are recycled through a freelist, the
+// heap reuses its backing array, and callbacks are stored inline in the slot
+// (see sim/callback.h).
+//
+// Cancellation marks the slot and drops the callback immediately; the dead
+// heap entry is discarded when it surfaces. A live-event counter keeps
+// empty()/pending() exact, and the slot's generation stamp makes cancelling
+// an already-run (or already-cancelled) handle a structural no-op — stale
+// handles can never corrupt accounting or leak, by construction.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/callback.h"
 #include "sim/time.h"
 
 namespace ups::sim {
 
 class simulator {
  public:
-  using callback = std::function<void()>;
+  using callback = inline_callback;
 
+  // Opaque generation-stamped reference to a scheduled event. `id` packs
+  // (generation << 24) | (slot + 1); 0 is the null handle. 24 bits bound
+  // the slab at ~16.7M concurrently tracked events (~1 GB of slots, far
+  // beyond any experiment) which buys a 40-bit generation: a slot must be
+  // reused ~10^12 times before a stale handle could alias a live event.
   struct handle {
     std::uint64_t id = 0;
     [[nodiscard]] bool valid() const noexcept { return id != 0; }
@@ -31,10 +44,12 @@ class simulator {
 
   [[nodiscard]] time_ps now() const noexcept { return now_; }
 
-  handle schedule_at(time_ps t, callback cb);
+  handle schedule_at(time_ps t, callback cb) {
+    return schedule(t, /*phase=*/0, std::move(cb));
+  }
 
   handle schedule_in(time_ps dt, callback cb) {
-    return schedule_at(now_ + dt, std::move(cb));
+    return schedule(now_ + dt, /*phase=*/0, std::move(cb));
   }
 
   // Runs after every normal event with the same timestamp, including normal
@@ -42,14 +57,42 @@ class simulator {
   // service decisions so that all same-instant packet arrivals — even those
   // still propagating through zero-delay forwarding chains — are visible to
   // the scheduler before it picks.
-  handle schedule_late(time_ps t, callback cb);
+  handle schedule_late(time_ps t, callback cb) {
+    return schedule(t, /*phase=*/1, std::move(cb));
+  }
 
-  // Lazily cancels a pending event. Cancelling an already-run or unknown
-  // handle is a harmless no-op.
+  // Cancels a pending event. Cancelling an already-run, already-cancelled,
+  // or unknown handle is a harmless no-op (the generation stamp no longer
+  // matches).
   void cancel(handle h);
 
   // Runs the next pending event; returns false if the queue is empty.
-  bool run_next();
+  // Defined inline: this is the innermost loop of every experiment.
+  bool run_next() {
+    for (;;) {
+      if (heap_.empty()) return false;
+      const heap_entry top = heap_[0];
+      event_slot& s = slots_[top.slot];
+      if (s.cancelled) {
+        heap_pop_top();
+        retire(top.slot);
+        continue;
+      }
+      // Heap-order sanity: a bug in heap_push/heap_pop_top must not be able
+      // to silently move simulation time backwards.
+      assert(top.at >= now_);
+      now_ = top.at;
+      ++processed_;
+      --live_;
+      // Detach the callback and retire the slot *before* invoking, so the
+      // callback can freely schedule (possibly into this slot) or cancel.
+      callback cb = std::move(s.cb);
+      heap_pop_top();
+      retire(top.slot);
+      cb();
+      return true;
+    }
+  }
 
   // Runs until the event queue drains.
   void run();
@@ -57,32 +100,127 @@ class simulator {
   // Runs events with timestamp <= t, then advances the clock to t.
   void run_until(time_ps t);
 
-  [[nodiscard]] bool empty() const noexcept { return queue_.size() == cancelled_.size(); }
-  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
+  [[nodiscard]] std::size_t pending() const noexcept { return live_; }
   [[nodiscard]] std::uint64_t events_processed() const noexcept {
     return processed_;
   }
+  // Capacity of the slot slab (high-water mark of concurrently tracked
+  // events); exposed for tests and benches.
+  [[nodiscard]] std::size_t slot_capacity() const noexcept {
+    return slots_.size();
+  }
 
  private:
-  struct entry {
-    time_ps at;
-    std::uint8_t phase;  // 0: normal, 1: late (after same-time normals)
-    std::uint64_t id;
+  static constexpr std::uint64_t kSlotBits = 24;
+  static constexpr std::uint64_t kSlotMask = (1ull << kSlotBits) - 1;
+  static constexpr std::uint64_t kGenMask = (1ull << 40) - 1;
+
+  struct event_slot {
     callback cb;
-  };
-  struct later {
-    bool operator()(const entry& a, const entry& b) const noexcept {
-      if (a.at != b.at) return a.at > b.at;
-      if (a.phase != b.phase) return a.phase > b.phase;
-      return a.id > b.id;
-    }
+    std::uint64_t generation = 0;  // kept within kGenMask; see handle
+    bool queued = false;     // owned by the heap (live or awaiting purge)
+    bool cancelled = false;  // dead entry: discard when it surfaces
   };
 
+  // Flat sort key: comparisons never touch the slot slab. `order` packs
+  // (phase << 62) | seq — phase dominates, then scheduling order; seq is a
+  // process-lifetime counter and cannot reach 2^62.
+  struct heap_entry {
+    time_ps at;
+    std::uint64_t order;
+    std::uint32_t slot;
+  };
+  [[nodiscard]] static bool before(const heap_entry& a,
+                                   const heap_entry& b) noexcept {
+    if (a.at != b.at) return a.at < b.at;
+    return a.order < b.order;
+  }
+
+  static constexpr std::size_t kArity = 4;  // 4-ary heap: half the levels
+
+  handle schedule(time_ps t, std::uint8_t phase, callback cb) {
+    if (t < now_) {
+      throw_past_schedule();
+    }
+    std::uint32_t slot;
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+    } else {
+      if (slots_.size() >= kSlotMask) {
+        throw_slab_exhausted();
+      }
+      slot = static_cast<std::uint32_t>(slots_.size());
+      slots_.emplace_back();
+    }
+    event_slot& s = slots_[slot];
+    s.cb = std::move(cb);
+    s.queued = true;
+    s.cancelled = false;
+    const std::uint64_t order =
+        (static_cast<std::uint64_t>(phase) << 62) | next_seq_++;
+    heap_push(heap_entry{t, order, slot});
+    ++live_;
+    return handle{(s.generation << kSlotBits) |
+                  (static_cast<std::uint64_t>(slot) + 1)};
+  }
+
+  void heap_push(heap_entry e) {
+    std::size_t pos = heap_.size();
+    heap_.push_back(e);
+    while (pos > 0) {
+      const std::size_t up = (pos - 1) / kArity;
+      if (!before(e, heap_[up])) break;
+      heap_[pos] = heap_[up];
+      pos = up;
+    }
+    heap_[pos] = e;
+  }
+
+  void heap_pop_top() {
+    const heap_entry filler = heap_.back();
+    heap_.pop_back();
+    const std::size_t n = heap_.size();
+    if (n == 0) return;
+    std::size_t pos = 0;
+    for (;;) {
+      const std::size_t first = pos * kArity + 1;
+      if (first >= n) break;
+      const std::size_t last = first + kArity < n ? first + kArity : n;
+      std::size_t best = first;
+      for (std::size_t c = first + 1; c < last; ++c) {
+        if (before(heap_[c], heap_[best])) best = c;
+      }
+      if (!before(heap_[best], filler)) break;
+      heap_[pos] = heap_[best];
+      pos = best;
+    }
+    heap_[pos] = filler;
+  }
+
+  // Retires a slot: bumps the generation (invalidating outstanding handles)
+  // and pushes it onto the freelist.
+  void retire(std::uint32_t slot) {
+    event_slot& s = slots_[slot];
+    s.queued = false;
+    s.cancelled = false;
+    s.generation = (s.generation + 1) & kGenMask;
+    free_slots_.push_back(slot);
+  }
+
+  // Discards cancelled entries sitting on top of the heap.
+  void purge_cancelled_top();
+  [[noreturn]] static void throw_past_schedule();
+  [[noreturn]] static void throw_slab_exhausted();
+
   time_ps now_ = 0;
-  std::uint64_t next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
   std::uint64_t processed_ = 0;
-  std::priority_queue<entry, std::vector<entry>, later> queue_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  std::size_t live_ = 0;  // scheduled and not yet run or cancelled
+  std::vector<event_slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<heap_entry> heap_;  // 4-ary min-heap
 };
 
 }  // namespace ups::sim

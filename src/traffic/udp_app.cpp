@@ -19,7 +19,7 @@ void udp_app::emit_flow(const flow_spec& f) {
   while (remaining > 0) {
     const std::uint32_t sz = static_cast<std::uint32_t>(
         std::min<std::uint64_t>(remaining, opt_.mtu_bytes));
-    auto p = std::make_unique<net::packet>();
+    net::packet_ptr p = net_.pool().make();
     p->id = next_packet_id_++;
     p->flow_id = f.id;
     p->seq_in_flow = seq++;

@@ -55,7 +55,7 @@ void tcp_manager::emit_segment(flow& f, std::uint64_t off,
                                bool retransmission) {
   const auto len = static_cast<std::uint32_t>(
       std::min<std::uint64_t>(cfg_.mss, f.size - off));
-  auto p = std::make_unique<net::packet>();
+  net::packet_ptr p = net_.pool().make();
   p->id = next_packet_id_++;
   p->flow_id = f.id;
   p->kind = net::packet_kind::data;
@@ -109,7 +109,7 @@ void tcp_manager::on_data(flow& f, const net::packet& p) {
 }
 
 void tcp_manager::send_ack(flow& f) {
-  auto a = std::make_unique<net::packet>();
+  net::packet_ptr a = net_.pool().make();
   a->id = next_packet_id_++;
   a->flow_id = f.id;
   a->kind = net::packet_kind::ack;

@@ -37,7 +37,7 @@ inline gadget_run run_gadget_original(const topo::gadget& g) {
 
   std::uint64_t next_id = 1;
   for (const auto& gp : g.packets) {
-    auto p = std::make_unique<net::packet>();
+    net::packet_ptr p = net::make_packet();
     p->id = next_id++;
     p->flow_id = p->id;
     p->size_bytes = gp.size_bytes;

@@ -14,7 +14,7 @@ namespace {
 
 net::packet_ptr pkt(std::uint64_t id, std::uint64_t flow,
                     std::uint32_t bytes = 1500) {
-  auto p = std::make_unique<net::packet>();
+  net::packet_ptr p = net::make_packet();
   p->id = id;
   p->flow_id = flow;
   p->size_bytes = bytes;

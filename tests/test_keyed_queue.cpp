@@ -2,7 +2,11 @@
 // schedulers.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <map>
 #include <memory>
+#include <random>
+#include <utility>
 
 #include "sched/keyed_queue.h"
 
@@ -10,7 +14,7 @@ namespace ups::sched {
 namespace {
 
 net::packet_ptr pkt(std::uint64_t id, std::uint32_t bytes = 100) {
-  auto p = std::make_unique<net::packet>();
+  net::packet_ptr p = net::make_packet();
   p->id = id;
   p->size_bytes = bytes;
   return p;
@@ -75,6 +79,51 @@ TEST(keyed_queue, negative_keys_order_correctly) {
   EXPECT_EQ(q.pop_min()->id, 3u);
   EXPECT_EQ(q.pop_min()->id, 1u);
   EXPECT_EQ(q.pop_min()->id, 2u);
+}
+
+TEST(keyed_queue, fuzz_matches_ordered_map_reference) {
+  // The freelist-backed queue must preserve the exact (key, arrival-uid)
+  // total order the original plain-map backing provided — replay
+  // determinism depends on it. Mirror every operation against an
+  // ordered-map reference model.
+  keyed_queue q;
+  std::map<std::pair<std::int64_t, std::uint64_t>, std::uint64_t> ref;
+  std::mt19937_64 rng(99);
+  std::uint64_t uid = 0;  // mirrors the queue's internal arrival sequence
+  std::uint64_t id = 0;
+
+  for (int round = 0; round < 50'000; ++round) {
+    const auto op = rng() % 4;
+    if (op < 2 || ref.empty()) {
+      const auto key = static_cast<std::int64_t>(rng() % 64) - 32;
+      const std::uint64_t pid = ++id;
+      q.insert(key, pkt(pid));
+      ref.emplace(std::make_pair(key, uid++), pid);
+    } else if (op == 2) {
+      auto p = q.pop_min();
+      ASSERT_NE(p, nullptr);
+      ASSERT_EQ(p->id, ref.begin()->second);
+      ref.erase(ref.begin());
+    } else {
+      auto p = q.pop_max();
+      ASSERT_NE(p, nullptr);
+      ASSERT_EQ(p->id, std::prev(ref.end())->second);
+      ref.erase(std::prev(ref.end()));
+    }
+    ASSERT_EQ(q.size(), ref.size());
+    if (!ref.empty()) {
+      ASSERT_EQ(*q.min_key(), ref.begin()->first.first);
+      ASSERT_EQ(*q.max_key(), std::prev(ref.end())->first.first);
+    } else {
+      ASSERT_FALSE(q.min_key().has_value());
+    }
+  }
+  while (!ref.empty()) {
+    ASSERT_EQ(q.pop_min()->id, ref.begin()->second);
+    ref.erase(ref.begin());
+  }
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.bytes(), 0u);
 }
 
 TEST(keyed_queue, interleaved_operations) {

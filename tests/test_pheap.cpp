@@ -108,7 +108,7 @@ TEST(pheap, move_only_payloads) {
 
 net::packet_ptr pkt(std::uint64_t id, sim::time_ps slack,
                     std::uint32_t bytes = 1500) {
-  auto p = std::make_unique<net::packet>();
+  net::packet_ptr p = net::make_packet();
   p->id = id;
   p->flow_id = id;
   p->size_bytes = bytes;

@@ -18,7 +18,7 @@ using core::sched_kind;
 
 packet_ptr make_packet(std::uint64_t id, node_id src, node_id dst,
                        std::uint32_t bytes, sim::time_ps slack = 0) {
-  auto p = std::make_unique<packet>();
+  packet_ptr p = net::make_packet();
   p->id = id;
   p->flow_id = id;
   p->size_bytes = bytes;

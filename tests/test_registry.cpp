@@ -68,9 +68,9 @@ TEST(registry, mixed_factory_dispatches_per_port) {
                               sim::kGbps};
     auto s = factory(info);
     // Distinguish by behaviour: enqueue 1,2 and observe dequeue order.
-    auto p1 = std::make_unique<net::packet>();
+    net::packet_ptr p1 = net::make_packet();
     p1->id = 1;
-    auto p2 = std::make_unique<net::packet>();
+    net::packet_ptr p2 = net::make_packet();
     p2->id = 2;
     s->enqueue(std::move(p1), 0);
     s->enqueue(std::move(p2), 0);
@@ -92,10 +92,10 @@ TEST(registry, fq_fifo_plus_mix_gives_hosts_fifo) {
   const net::port_info host_port{0, 5, 1, net::node_kind::host, sim::kGbps};
   auto s = factory(host_port);
   // FIFO: keeps arrival order regardless of header contents.
-  auto p1 = std::make_unique<net::packet>();
+  net::packet_ptr p1 = net::make_packet();
   p1->id = 1;
   p1->fifo_plus_wait = sim::kSecond;  // would reorder under FIFO+
-  auto p2 = std::make_unique<net::packet>();
+  net::packet_ptr p2 = net::make_packet();
   p2->id = 2;
   s->enqueue(std::move(p1), 0);
   s->enqueue(std::move(p2), 0);
@@ -110,7 +110,7 @@ TEST(registry, random_schedulers_seeded_per_port) {
   // factories with the same seed gets the same stream.
   auto fill = [](net::scheduler& s) {
     for (std::uint64_t i = 1; i <= 16; ++i) {
-      auto p = std::make_unique<net::packet>();
+      net::packet_ptr p = net::make_packet();
       p->id = i;
       s.enqueue(std::move(p), 0);
     }

@@ -17,7 +17,7 @@ namespace ups::sched {
 namespace {
 
 net::packet_ptr pkt(std::uint64_t id, std::uint32_t bytes = 1500) {
-  auto p = std::make_unique<net::packet>();
+  net::packet_ptr p = net::make_packet();
   p->id = id;
   p->flow_id = id;
   p->size_bytes = bytes;

@@ -1,6 +1,9 @@
 // Unit tests for the discrete-event simulation kernel.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <random>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/simulator.h"
@@ -157,6 +160,135 @@ TEST(simulator, late_events_fifo_among_themselves) {
   }
   s.run();
   for (int i = 0; i < 5; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(simulator, cancel_after_run_leaves_queue_empty) {
+  // Regression: the pre-slab kernel recorded cancellations of already-run
+  // handles in a side set, permanently skewing empty()/pending() accounting
+  // and growing memory unboundedly. Generation-stamped slots make the stale
+  // cancel a structural no-op.
+  simulator s;
+  auto h = s.schedule_at(10, [] {});
+  s.run();
+  EXPECT_TRUE(s.empty());
+  s.cancel(h);  // handle already ran
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.pending(), 0u);
+  // Accounting must still be exact for subsequent events.
+  bool ran = false;
+  s.schedule_in(1, [&] { ran = true; });
+  EXPECT_EQ(s.pending(), 1u);
+  s.run();
+  EXPECT_TRUE(ran);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(simulator, double_cancel_is_noop) {
+  simulator s;
+  bool ran = false;
+  auto h = s.schedule_at(5, [&] { ran = true; });
+  s.cancel(h);
+  s.cancel(h);  // second cancel must not disturb anything
+  s.schedule_at(6, [] {});
+  EXPECT_EQ(s.pending(), 1u);
+  s.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(simulator, stale_handle_cannot_cancel_slot_reuser) {
+  // After an event runs, its slot is recycled for the next event; the old
+  // handle's generation stamp must not be able to cancel the newcomer.
+  simulator s;
+  auto h1 = s.schedule_at(10, [] {});
+  s.run();
+  bool second_ran = false;
+  auto h2 = s.schedule_at(20, [&] { second_ran = true; });
+  EXPECT_NE(h1.id, h2.id);  // same slot, different generation
+  s.cancel(h1);             // stale: must be a no-op
+  s.run();
+  EXPECT_TRUE(second_ran);
+}
+
+TEST(simulator, slab_reuses_slots_instead_of_growing) {
+  simulator s;
+  for (int i = 0; i < 10'000; ++i) {
+    s.schedule_in(1, [] {});
+    s.run_next();
+  }
+  // One pending event at a time -> the slab never needs more than one slot.
+  EXPECT_EQ(s.slot_capacity(), 1u);
+  EXPECT_EQ(s.events_processed(), 10'000u);
+}
+
+TEST(simulator, slab_stress_interleaved_schedule_cancel_run) {
+  // Randomized churn across slot reuse, mid-heap cancellation, and stale
+  // cancels, validated against exact bookkeeping.
+  simulator s;
+  std::mt19937_64 rng(1234);
+  std::unordered_map<std::uint64_t, simulator::handle> pending;
+  std::vector<simulator::handle> dead;  // ran or cancelled: all stale
+  std::uint64_t next_token = 0;
+  std::uint64_t fired = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t scheduled = 0;
+  sim::time_ps last_time = 0;
+
+  for (int round = 0; round < 20'000; ++round) {
+    const auto op = rng() % 10;
+    if (op < 5) {  // schedule
+      const std::uint64_t token = next_token++;
+      const auto dt = static_cast<time_ps>(rng() % 100);
+      simulator::handle h;
+      if (rng() % 4 == 0) {
+        h = s.schedule_late(s.now() + dt, [&, token] {
+          EXPECT_GE(s.now(), last_time);
+          last_time = s.now();
+          ++fired;
+          pending.erase(token);
+        });
+      } else {
+        h = s.schedule_in(dt, [&, token] {
+          EXPECT_GE(s.now(), last_time);
+          last_time = s.now();
+          ++fired;
+          pending.erase(token);
+        });
+      }
+      pending[token] = h;
+      ++scheduled;
+    } else if (op < 7) {  // cancel a pending event, if any
+      if (!pending.empty()) {
+        auto it = pending.begin();
+        std::advance(it, static_cast<long>(rng() % pending.size()));
+        s.cancel(it->second);
+        dead.push_back(it->second);
+        pending.erase(it);
+        ++cancelled;
+      }
+    } else if (op < 8) {  // cancel a stale handle: must be a no-op
+      if (!dead.empty()) {
+        const std::size_t before = s.pending();
+        s.cancel(dead[rng() % dead.size()]);
+        EXPECT_EQ(s.pending(), before);
+      }
+    } else {  // run a few events
+      for (int k = 0; k < 3; ++k) {
+        if (!s.run_next()) break;
+      }
+    }
+    ASSERT_EQ(s.pending(), pending.size());
+  }
+  for (auto& [token, h] : pending) dead.push_back(h);
+  s.run();
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(fired + cancelled, scheduled);
+  // Every handle is now stale; a cancel storm must leave the kernel intact.
+  for (const auto& h : dead) s.cancel(h);
+  EXPECT_TRUE(s.empty());
+  bool epilogue = false;
+  s.schedule_in(1, [&] { epilogue = true; });
+  s.run();
+  EXPECT_TRUE(epilogue);
 }
 
 TEST(simulator, zero_delay_event_runs_after_pending_same_time) {

@@ -80,7 +80,7 @@ TEST(tmin, heterogeneous_rates) {
 
 TEST(edf, priority_equals_deadline_minus_remaining_tmin_plus_t) {
   fixture f(topo::line(3, sim::kGbps, 2 * sim::kMicrosecond));
-  auto p = std::make_unique<net::packet>();
+  net::packet_ptr p = net::make_packet();
   p->size_bytes = 1500;
   p->src_host = f.topo.host_id(0);
   p->dst_host = f.topo.host_id(1);
@@ -105,7 +105,7 @@ TEST(edf, deadline_header_never_rewritten) {
   f.net.hooks().on_egress = [&](const net::packet& p, sim::time_ps) {
     deadline_at_egress = p.deadline;
   };
-  auto p = std::make_unique<net::packet>();
+  net::packet_ptr p = net::make_packet();
   p->id = 1;
   p->size_bytes = 1500;
   p->src_host = f.topo.host_id(0);
@@ -138,7 +138,7 @@ TEST(tmin, matches_on_internet2_sampled_paths) {
     net2.hooks().on_egress = [&](const net::packet&, sim::time_ps t) {
       egress = t;
     };
-    auto p = std::make_unique<net::packet>();
+    net::packet_ptr p = net::make_packet();
     p->id = 1;
     p->size_bytes = 1500;
     p->src_host = f.topo.host_id(s);
