@@ -1,0 +1,315 @@
+// Macro replay throughput: the second perf trajectory next to
+// bench_micro_queues' per-hop numbers. Drives a full Table-1-style
+// experiment end to end — record original schedules across scenarios/seeds,
+// replay each with a 4-mode candidate-UPS sweep — twice: once serially
+// (threads=1) and once sharded across a thread pool, and emits
+// BENCH_macro_replay.json with end-to-end packets/sec, the sharded speedup,
+// per-mode overdue fractions, and a peak-residency proxy comparing
+// streaming vs up-front injection on the largest scenario.
+//
+// Gates (process exits non-zero on violation):
+//   identity   sharded results must be byte-identical to the serial run
+//              (counters, thresholds, and per-packet outcomes for every
+//              scenario × mode cell) — always on
+//   speedup    sharded packets/sec >= --min-speedup × serial packets/sec;
+//              enforced only when the machine actually has >= 2 hardware
+//              threads and --threads >= 2 (a 1-core box cannot exhibit a
+//              wall-clock speedup; the gate reports SKIPPED instead of
+//              producing a meaningless failure)
+//   residency  streaming peak packet-pool residency on the largest scenario
+//              <= --max-residency × the up-front peak — the O(in-flight)
+//              vs O(trace) claim, measured, not assumed
+//
+// Usage: bench_macro_replay [--packets=N] [--seed=N] [--scale=F] [--quick]
+//                           [--threads=N] [--out=FILE] [--min-speedup=X]
+//                           [--max-residency=F]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exp/args.h"
+#include "exp/replay_shard_runner.h"
+
+namespace {
+
+using namespace ups;
+
+// Identity compares everything deterministic: aggregate counters AND the
+// per-packet outcome vectors (both passes run with keep_outcomes on), so a
+// divergence that happens to preserve the overdue counts still fails the
+// gate. Timings are the only fields excluded.
+bool identical(const std::vector<exp::shard_result>& a,
+               const std::vector<exp::shard_result>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].trace_packets != b[i].trace_packets) return false;
+    if (a[i].threshold_T != b[i].threshold_T) return false;
+    if (a[i].replays.size() != b[i].replays.size()) return false;
+    for (std::size_t m = 0; m < a[i].replays.size(); ++m) {
+      const auto& x = a[i].replays[m].result;
+      const auto& y = b[i].replays[m].result;
+      if (x.total != y.total || x.overdue != y.overdue ||
+          x.overdue_beyond_T != y.overdue_beyond_T ||
+          x.threshold_T != y.threshold_T) {
+        return false;
+      }
+      if (x.outcomes.size() != y.outcomes.size()) return false;
+      for (std::size_t k = 0; k < x.outcomes.size(); ++k) {
+        const auto& ox = x.outcomes[k];
+        const auto& oy = y.outcomes[k];
+        if (ox.id != oy.id || ox.original_out != oy.original_out ||
+            ox.replay_out != oy.replay_out ||
+            ox.original_queueing != oy.original_queueing ||
+            ox.replay_queueing != oy.replay_queueing) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto a = exp::args::parse(argc, argv);
+  std::size_t threads = 4;
+  std::string out_path = "BENCH_macro_replay.json";
+  double min_speedup = 2.0;
+  double max_residency = 0.5;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = std::strtoull(argv[i] + 10, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else if (std::strncmp(argv[i], "--min-speedup=", 14) == 0) {
+      min_speedup = std::strtod(argv[i] + 14, nullptr);
+    } else if (std::strncmp(argv[i], "--max-residency=", 16) == 0) {
+      max_residency = std::strtod(argv[i] + 16, nullptr);
+    }
+  }
+  if (threads == 0) threads = 4;
+  const std::uint64_t budget = a.budget(60'000);
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  // The 4-mode candidate sweep of every shard: the paper's main replayer,
+  // its preemptive variant, and the two simpler headers of §2.3.
+  const std::vector<core::replay_mode> modes = {
+      core::replay_mode::lstf,
+      core::replay_mode::lstf_preemptive,
+      core::replay_mode::edf,
+      core::replay_mode::priority_output_time,
+  };
+
+  // Table-1-flavored shard set spanning every fan-out axis: topology,
+  // utilization, original scheduler, and seed.
+  struct task_spec {
+    exp::topo_kind topo;
+    double util;
+    core::sched_kind sched;
+    std::uint64_t seed_offset;
+  };
+  const task_spec specs[] = {
+      {exp::topo_kind::i2_default, 0.7, core::sched_kind::random, 0},
+      {exp::topo_kind::i2_default, 0.7, core::sched_kind::random, 1},
+      {exp::topo_kind::i2_default, 0.5, core::sched_kind::random, 0},
+      {exp::topo_kind::i2_default, 0.9, core::sched_kind::fifo, 0},
+      {exp::topo_kind::i2_1g_1g, 0.7, core::sched_kind::random, 0},
+      {exp::topo_kind::fattree, 0.7, core::sched_kind::random, 0},
+  };
+  std::vector<exp::shard_task> tasks;
+  for (const auto& s : specs) {
+    exp::shard_task t;
+    t.sc.topo = s.topo;
+    t.sc.utilization = s.util;
+    t.sc.sched = s.sched;
+    t.sc.seed = a.seed + s.seed_offset;
+    t.sc.packet_budget = budget;
+    t.modes = modes;
+    tasks.push_back(std::move(t));
+  }
+
+  std::printf("macro replay: %zu scenarios x %zu modes, %llu packets each, "
+              "%zu threads (hw=%u)\n",
+              tasks.size(), modes.size(),
+              static_cast<unsigned long long>(budget), threads, hw);
+
+  // keep_outcomes so the identity gate can compare per-packet results, not
+  // just counters (outcome memory is ~40B per replayed packet, well within
+  // bench budgets).
+  exp::shard_options serial_opt;
+  serial_opt.threads = 1;
+  serial_opt.keep_outcomes = true;
+  const auto t_serial = std::chrono::steady_clock::now();
+  const auto serial = exp::run_sharded(tasks, serial_opt);
+  const double serial_wall = exp::wall_seconds_since(t_serial);
+
+  exp::shard_options sharded_opt;
+  sharded_opt.threads = threads;
+  sharded_opt.keep_outcomes = true;
+  const auto t_sharded = std::chrono::steady_clock::now();
+  const auto sharded = exp::run_sharded(tasks, sharded_opt);
+  const double sharded_wall = exp::wall_seconds_since(t_sharded);
+
+  // Work unit for the throughput trajectory: one replayed packet (each
+  // recorded packet is replayed once per mode).
+  std::uint64_t replayed = 0;
+  for (const auto& r : serial) {
+    replayed += r.trace_packets * r.replays.size();
+  }
+  const double serial_pps = static_cast<double>(replayed) / serial_wall;
+  const double sharded_pps = static_cast<double>(replayed) / sharded_wall;
+  const double speedup = sharded_pps / serial_pps;
+
+  // Residency proxy: replay the bench's largest trace once with up-front
+  // injection and once streaming, and compare pool/event high-water marks.
+  // Streaming keeps O(in-flight) packets resident, so the comparison runs
+  // where in-flight is genuinely small relative to the trace: the
+  // datacenter fabric (microsecond propagation — WAN topologies keep a
+  // bandwidth×delay product of thousands of packets on the wire no matter
+  // how they are injected) with light fixed-size flows at moderate load
+  // (the heavy-tailed open-loop elephants of the sweep above park most of
+  // a short trace in one egress queue by construction).
+  exp::scenario big_sc;
+  big_sc.topo = exp::topo_kind::fattree;
+  big_sc.utilization = 0.5;
+  big_sc.sched = core::sched_kind::random;
+  big_sc.seed = a.seed;
+  big_sc.flows = exp::flow_dist_kind::fixed;
+  big_sc.packet_budget = 2 * budget;  // the largest trace in this bench
+  const auto orig_big = exp::run_original(big_sc);
+  core::replay_options ropt;
+  ropt.mode = core::replay_mode::lstf;
+  ropt.threshold_T = orig_big.threshold_T;
+  ropt.keep_outcomes = false;
+  const auto& topology = orig_big.topology;
+  const auto builder = [&topology](net::network& n) {
+    topo::populate(topology, n);
+  };
+  ropt.injection = core::injection_mode::upfront;
+  const auto res_upfront = core::replay_trace(orig_big.trace, builder, ropt);
+  ropt.injection = core::injection_mode::streaming;
+  const auto res_stream = core::replay_trace(orig_big.trace, builder, ropt);
+  const double residency_ratio =
+      static_cast<double>(res_stream.peak_pool_packets) /
+      static_cast<double>(res_upfront.peak_pool_packets);
+
+  // --- report --------------------------------------------------------------
+  std::printf("\n%-22s %6s %9s", "scenario", "util", "packets");
+  for (const auto m : modes) std::printf(" %16s", core::to_string(m));
+  std::printf("\n");
+  for (const auto& r : serial) {
+    std::printf("%-22s %5.0f%% %9llu", exp::to_string(r.sc.topo),
+                r.sc.utilization * 100,
+                static_cast<unsigned long long>(r.trace_packets));
+    for (const auto& rep : r.replays) {
+      std::printf("   %6.4f/%7.4f", rep.result.frac_overdue(),
+                  rep.result.frac_overdue_beyond_T());
+    }
+    std::printf("\n");
+  }
+  std::printf("\nserial : %7.2fs  %12.0f packets/sec\n", serial_wall,
+              serial_pps);
+  std::printf("sharded: %7.2fs  %12.0f packets/sec  (%.2fx, %zu threads)\n",
+              sharded_wall, sharded_pps, speedup, threads);
+  std::printf("residency (largest scenario, %llu packets): upfront peak "
+              "%llu pkts / %llu event slots -> streaming peak %llu pkts / "
+              "%llu event slots (%.4fx)\n",
+              static_cast<unsigned long long>(orig_big.trace.packets.size()),
+              static_cast<unsigned long long>(res_upfront.peak_pool_packets),
+              static_cast<unsigned long long>(res_upfront.peak_event_slots),
+              static_cast<unsigned long long>(res_stream.peak_pool_packets),
+              static_cast<unsigned long long>(res_stream.peak_event_slots),
+              residency_ratio);
+
+  // --- JSON trajectory -----------------------------------------------------
+  const bool same = identical(serial, sharded);
+  {
+    std::ofstream out(out_path);
+    out << "{\n  \"benchmark\": \"macro_replay\",\n"
+        << "  \"threads\": " << threads << ",\n"
+        << "  \"hardware_concurrency\": " << hw << ",\n"
+        << "  \"packet_budget\": " << budget << ",\n"
+        << "  \"replayed_packets\": " << replayed << ",\n"
+        << "  \"serial\": {\"wall_seconds\": " << serial_wall
+        << ", \"packets_per_sec\": " << serial_pps << "},\n"
+        << "  \"sharded\": {\"wall_seconds\": " << sharded_wall
+        << ", \"packets_per_sec\": " << sharded_pps << "},\n"
+        << "  \"speedup\": " << speedup << ",\n"
+        << "  \"identical\": " << (same ? "true" : "false") << ",\n"
+        << "  \"residency\": {\"trace_packets\": "
+        << orig_big.trace.packets.size()
+        << ", \"upfront_peak_packets\": " << res_upfront.peak_pool_packets
+        << ", \"streaming_peak_packets\": " << res_stream.peak_pool_packets
+        << ", \"upfront_peak_event_slots\": " << res_upfront.peak_event_slots
+        << ", \"streaming_peak_event_slots\": " << res_stream.peak_event_slots
+        << ", \"ratio\": " << residency_ratio << "},\n"
+        << "  \"scenarios\": [\n";
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      const auto& r = serial[i];
+      out << "    {\"topo\": \"" << exp::to_string(r.sc.topo)
+          << "\", \"utilization\": " << r.sc.utilization
+          << ", \"scheduler\": \"" << core::to_string(r.sc.sched)
+          << "\", \"seed\": " << r.sc.seed
+          << ", \"trace_packets\": " << r.trace_packets << ", \"modes\": [";
+      for (std::size_t m = 0; m < r.replays.size(); ++m) {
+        const auto& rep = r.replays[m];
+        out << (m ? ", " : "") << "{\"mode\": \""
+            << core::to_string(rep.mode)
+            << "\", \"frac_overdue\": " << rep.result.frac_overdue()
+            << ", \"frac_overdue_beyond_T\": "
+            << rep.result.frac_overdue_beyond_T() << "}";
+      }
+      out << "]}" << (i + 1 < serial.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+  }
+
+  // --- gates ---------------------------------------------------------------
+  int failures = 0;
+  if (!same) {
+    std::fprintf(stderr,
+                 "FAIL: sharded results differ from the serial run "
+                 "(determinism violation)\n");
+    ++failures;
+  }
+  if (res_stream.peak_pool_packets >
+      static_cast<std::uint64_t>(
+          max_residency *
+          static_cast<double>(res_upfront.peak_pool_packets))) {
+    std::fprintf(stderr,
+                 "FAIL: streaming peak residency %llu > %.2f x upfront peak "
+                 "%llu\n",
+                 static_cast<unsigned long long>(res_stream.peak_pool_packets),
+                 max_residency,
+                 static_cast<unsigned long long>(
+                     res_upfront.peak_pool_packets));
+    ++failures;
+  }
+  // Skip only on a *known* single-core box; hardware_concurrency() == 0
+  // means "unknown", and an unknown machine must still enforce the bar
+  // (CI runners report their count correctly).
+  if (hw != 1 && threads >= 2) {
+    if (speedup < min_speedup) {
+      std::fprintf(stderr, "FAIL: sharded speedup %.2fx < %.2fx bar\n",
+                   speedup, min_speedup);
+      ++failures;
+    }
+  } else {
+    std::printf("speedup gate SKIPPED: %u hardware thread(s), %zu bench "
+                "threads — a wall-clock speedup is not physically "
+                "measurable here\n",
+                hw, threads);
+  }
+  if (failures == 0) {
+    std::printf("all macro-replay gates passed\n");
+  }
+  return failures == 0 ? 0 : 1;
+}

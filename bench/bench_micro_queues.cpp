@@ -389,11 +389,12 @@ int main(int argc, char** argv) {
 
   std::vector<result_row> rows;
   // The disciplines engineered for the zero-allocation guarantee: pooled
-  // packets over freelist-recycled queue storage. drr/pfabric keep
-  // per-flow node state and are reported, not gated.
+  // packets over freelist-recycled queue storage. pfabric joined the gate
+  // when its per-flow starvation index was flattened onto slab + freelist
+  // storage; drr still keeps per-flow node state and is reported, not gated.
   const char* zero_alloc_names[] = {
-      "fifo", "lifo",      "priority",      "sjf",  "fifo_plus",
-      "lstf", "fq",        "virtual_clock", "random",
+      "fifo", "lifo",    "priority", "sjf",           "fifo_plus",
+      "lstf", "fq",      "random",   "virtual_clock", "pfabric",
   };
 
   for (const std::size_t depth : depths) {

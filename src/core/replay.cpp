@@ -1,8 +1,8 @@
 #include "core/replay.h"
 
+#include <algorithm>
 #include <memory>
 #include <stdexcept>
-#include <unordered_map>
 
 #include "core/registry.h"
 #include "sim/simulator.h"
@@ -35,9 +35,108 @@ sched_kind scheduler_for(replay_mode m) {
   throw std::logic_error("unhandled replay mode");
 }
 
+// Builds a replay packet from a recorded schedule entry: identity + path
+// from the record, scheduling header initialized per mode from nothing but
+// (i(p), o(p), path(p)) — black-box initialization — or the per-hop vector
+// of Appendix B in omniscient mode.
+net::packet_ptr packet_from_record(net::network& net,
+                                   const net::packet_record& r,
+                                   const replay_options& opt) {
+  net::packet_ptr p = net.pool().make();
+  p->id = r.id;
+  p->flow_id = r.flow_id;
+  p->seq_in_flow = r.seq_in_flow;
+  p->size_bytes = r.size_bytes;
+  p->src_host = r.src_host;
+  p->dst_host = r.dst_host;
+  p->path = r.path;
+  p->flow_size_bytes = r.flow_size_bytes;
+  p->ref_egress_time = r.egress_time;
+  p->ref_queueing_delay = r.queueing_delay;
+  switch (opt.mode) {
+    case replay_mode::lstf:
+    case replay_mode::lstf_preemptive:
+    case replay_mode::lstf_pheap: {
+      const sim::time_ps tmin = net.tmin(*p, 0);
+      p->slack = r.egress_time - r.ingress_time - tmin;
+      break;
+    }
+    case replay_mode::edf:
+      p->deadline = r.egress_time;
+      break;
+    case replay_mode::priority_output_time:
+      p->priority = r.egress_time;
+      break;
+    case replay_mode::omniscient: {
+      if (r.hop_departs.size() != r.path.size()) {
+        throw std::invalid_argument(
+            "omniscient replay requires a trace recorded with hop times");
+      }
+      // Appendix B ranks by o(p, α), the time the *first* bit was
+      // scheduled; the trace records last-bit exits, so subtract the
+      // per-hop transmission time.
+      p->hop_deadlines.resize(r.path.size());
+      for (std::size_t j = 0; j < r.path.size(); ++j) {
+        const net::node_id here = r.path[j];
+        const net::node_id next =
+            (j + 1 < r.path.size()) ? r.path[j + 1] : r.dst_host;
+        const auto& pt = net.port_between(here, next);
+        sim::time_ps start =
+            r.hop_departs[j] - pt.transmission_time(r.size_bytes);
+        if (opt.omniscient_quantum > 0) {
+          start -= start % opt.omniscient_quantum;
+        }
+        p->hop_deadlines[j] = start;
+      }
+      break;
+    }
+  }
+  return p;
+}
+
+// Feeds the cursor into the network one ingress instant at a time: a single
+// standing event sits at the next record's i(p); when it fires it injects
+// every record due at that instant and re-arms itself at the following one.
+// Only in-flight packets (plus the one batch being injected) are ever
+// resident, which is the whole point of streaming injection.
+struct streaming_feeder {
+  net::trace_cursor& cur;
+  net::network& net;
+  const replay_options& opt;
+  std::uint64_t injected = 0;
+  const net::packet_record* pending = nullptr;
+
+  void arm() {
+    pending = cur.next();
+    if (pending == nullptr) return;
+    // Early phase: the feeder (and the injections it posts, also early)
+    // must precede every same-instant forwarded arrival, or a rank tie
+    // between an injected and an in-network packet could resolve in the
+    // opposite order from up-front injection.
+    net.sim().schedule_early(pending->ingress_time, [this] { fire(); });
+  }
+
+  void fire() {
+    const sim::time_ps now = net.sim().now();
+    while (pending != nullptr && pending->ingress_time == now) {
+      net.inject_at_ingress(packet_from_record(net, *pending, opt), now);
+      ++injected;
+      pending = cur.next();
+    }
+    if (pending == nullptr) return;
+    if (pending->ingress_time < now) {
+      throw std::invalid_argument(
+          "replay cursor violated ingress-time order (sort the trace or use "
+          "trace::ingress_cursor)");
+    }
+    net.sim().schedule_early(pending->ingress_time, [this] { fire(); });
+  }
+};
+
 }  // namespace
 
-replay_result replay_trace(const net::trace& tr, const topology_builder& topo,
+replay_result replay_trace(net::trace_cursor& cur,
+                           const topology_builder& topo,
                            const replay_options& opt) {
   sim::simulator sim;
   net::network net(sim);
@@ -48,86 +147,69 @@ replay_result replay_trace(const net::trace& tr, const topology_builder& topo,
       make_factory(scheduler_for(opt.mode), opt.seed, &net));
   net.build();
 
-  // Re-inject every recorded packet at its ingress at exactly i(p), with the
-  // header initialized per mode from the recorded schedule.
-  for (const auto& r : tr.packets) {
-    net::packet_ptr p = net.pool().make();
-    p->id = r.id;
-    p->flow_id = r.flow_id;
-    p->seq_in_flow = r.seq_in_flow;
-    p->size_bytes = r.size_bytes;
-    p->src_host = r.src_host;
-    p->dst_host = r.dst_host;
-    p->path = r.path;
-    p->flow_size_bytes = r.flow_size_bytes;
-    switch (opt.mode) {
-      case replay_mode::lstf:
-      case replay_mode::lstf_preemptive:
-      case replay_mode::lstf_pheap: {
-        const sim::time_ps tmin = net.tmin(*p, 0);
-        p->slack = r.egress_time - r.ingress_time - tmin;
-        break;
-      }
-      case replay_mode::edf:
-        p->deadline = r.egress_time;
-        break;
-      case replay_mode::priority_output_time:
-        p->priority = r.egress_time;
-        break;
-      case replay_mode::omniscient: {
-        if (r.hop_departs.size() != r.path.size()) {
-          throw std::invalid_argument(
-              "omniscient replay requires a trace recorded with hop times");
-        }
-        // Appendix B ranks by o(p, α), the time the *first* bit was
-        // scheduled; the trace records last-bit exits, so subtract the
-        // per-hop transmission time.
-        p->hop_deadlines.resize(r.path.size());
-        for (std::size_t j = 0; j < r.path.size(); ++j) {
-          const net::node_id here = r.path[j];
-          const net::node_id next =
-              (j + 1 < r.path.size()) ? r.path[j + 1] : r.dst_host;
-          const auto& pt = net.port_between(here, next);
-          sim::time_ps start =
-              r.hop_departs[j] - pt.transmission_time(r.size_bytes);
-          if (opt.omniscient_quantum > 0) {
-            start -= start % opt.omniscient_quantum;
-          }
-          p->hop_deadlines[j] = start;
-        }
-        break;
-      }
-    }
-    net.inject_at_ingress(std::move(p), r.ingress_time);
-  }
-
-  // Collect replay output times.
-  std::unordered_map<std::uint64_t, std::pair<sim::time_ps, sim::time_ps>>
-      out;  // id -> (o'(p), replay queueing)
-  out.reserve(tr.packets.size() * 2);
-  net.hooks().on_egress = [&out](const net::packet& p, sim::time_ps now) {
-    out.emplace(p.id, std::make_pair(now, p.queueing_delay));
-  };
-  sim.run();
-
-  if (out.size() != tr.packets.size()) {
-    throw std::runtime_error("replay lost packets (buffering bug?)");
-  }
-
+  // Overdue counters settle at egress against the reference times carried
+  // by each packet, so the engine never needs the full trace in memory —
+  // O(1) accounting state for Table-1-style runs, O(trace) only when the
+  // caller asked to keep per-packet outcomes.
   replay_result res;
   res.threshold_T = opt.threshold_T;
-  if (opt.keep_outcomes) res.outcomes.reserve(tr.packets.size());
-  for (const auto& r : tr.packets) {
-    const auto& [oprime, qd] = out.at(r.id);
-    ++res.total;
-    if (oprime > r.egress_time) ++res.overdue;
-    if (oprime > r.egress_time + opt.threshold_T) ++res.overdue_beyond_T;
-    if (opt.keep_outcomes) {
-      res.outcomes.push_back(replay_outcome{r.id, r.egress_time, oprime,
-                                            r.queueing_delay, qd});
-    }
+  if (opt.keep_outcomes && cur.size_hint() > 0) {
+    res.outcomes.reserve(cur.size_hint());
   }
+  net.hooks().on_egress = [&res, &opt](const net::packet& p,
+                                       sim::time_ps now) {
+    ++res.total;
+    if (now > p.ref_egress_time) ++res.overdue;
+    if (now > p.ref_egress_time + opt.threshold_T) ++res.overdue_beyond_T;
+    if (opt.keep_outcomes) {
+      res.outcomes.push_back(replay_outcome{p.id, p.ref_egress_time, now,
+                                            p.ref_queueing_delay,
+                                            p.queueing_delay});
+    }
+  };
+
+  std::uint64_t injected = 0;
+  if (opt.injection == injection_mode::streaming) {
+    streaming_feeder feeder{cur, net, opt};
+    feeder.arm();
+    sim.run();
+    injected = feeder.injected;
+  } else {
+    // Up-front injection: materialize and schedule every packet before the
+    // run (peak residency O(trace)); kept as the equivalence baseline.
+    sim::time_ps last_ingress = 0;
+    while (const net::packet_record* r = cur.next()) {
+      if (r->ingress_time < last_ingress) {
+        throw std::invalid_argument(
+            "replay cursor violated ingress-time order (sort the trace or "
+            "use trace::ingress_cursor)");
+      }
+      last_ingress = r->ingress_time;
+      net.inject_at_ingress(packet_from_record(net, *r, opt),
+                            r->ingress_time);
+      ++injected;
+    }
+    sim.run();
+  }
+
+  if (res.total != injected) {
+    throw std::runtime_error("replay lost packets (buffering bug?)");
+  }
+  // Egress order is deterministic but mode-dependent; id order is the
+  // stable contract consumers (EDF≡LSTF equivalence, Figure 1) key on.
+  std::sort(res.outcomes.begin(), res.outcomes.end(),
+            [](const replay_outcome& a, const replay_outcome& b) {
+              return a.id < b.id;
+            });
+  res.peak_pool_packets = net.pool().created();
+  res.peak_event_slots = sim.slot_capacity();
   return res;
+}
+
+replay_result replay_trace(const net::trace& tr, const topology_builder& topo,
+                           const replay_options& opt) {
+  net::trace_ingress_cursor cur(tr);
+  return replay_trace(cur, topo, opt);
 }
 
 }  // namespace ups::core

@@ -6,6 +6,13 @@
 // from nothing but (i(p), o(p), path(p)) — black-box initialization — and
 // measures how many packets miss their original output times. The
 // omniscient mode instead initializes the per-hop vector of Appendix B.
+//
+// Packets are consumed lazily from a trace_cursor in ingress-time order
+// (streaming injection): a single standing feeder event materializes each
+// packet only when simulation time reaches its i(p), and overdue counters
+// settle at egress, so peak memory is O(in-flight packets) instead of
+// O(trace) — the difference between replaying a RocketFuel-scale trace from
+// disk and not fitting it in RAM.
 #pragma once
 
 #include <cstdint>
@@ -41,11 +48,20 @@ struct replay_outcome {
 };
 
 struct replay_result {
+  // Per-packet outcomes sorted by packet id (deterministic across modes and
+  // injection strategies; only filled when replay_options::keep_outcomes).
   std::vector<replay_outcome> outcomes;
   std::uint64_t total = 0;
   std::uint64_t overdue = 0;           // o'(p) > o(p)
   std::uint64_t overdue_beyond_T = 0;  // o'(p) > o(p) + T
   sim::time_ps threshold_T = 0;
+  // Residency high-water marks: distinct packet objects the replay's pool
+  // ever allocated (== peak simultaneously-live packets) and the event
+  // slab's slot capacity. Streaming injection keeps both at O(in-flight);
+  // up-front injection pays O(trace). Informational — not compared by
+  // operator==-style identity checks in tests/benches.
+  std::uint64_t peak_pool_packets = 0;
+  std::uint64_t peak_event_slots = 0;
 
   [[nodiscard]] double frac_overdue() const {
     return total == 0 ? 0.0 : static_cast<double>(overdue) / total;
@@ -59,8 +75,23 @@ struct replay_result {
 // callable used for the original run and the replay run).
 using topology_builder = std::function<void(net::network&)>;
 
+// How packets enter the replay network.
+enum class injection_mode : std::uint8_t {
+  // Pull records from the cursor during the run: only in-flight packets are
+  // resident, so peak memory is O(in-flight) instead of O(trace). The
+  // default; outcome-identical to upfront because injections are delivered
+  // in the kernel's early phase — ahead of every same-instant forwarded
+  // arrival and late-phase service decision, the order up-front injection
+  // produces by construction.
+  streaming,
+  // Materialize and schedule every packet before the run (the pre-streaming
+  // engine); kept as the equivalence baseline for tests.
+  upfront,
+};
+
 struct replay_options {
   replay_mode mode = replay_mode::lstf;
+  injection_mode injection = injection_mode::streaming;
   // Overdue tolerance T: one transmission time on the bottleneck link.
   sim::time_ps threshold_T = 0;
   std::uint64_t seed = 1;
@@ -73,7 +104,15 @@ struct replay_options {
   sim::time_ps omniscient_quantum = 0;
 };
 
-// Replays `tr` over the given topology and reports overdue statistics.
+// Replays the schedule streamed by `cur` over the given topology and
+// reports overdue statistics. The cursor must yield records in
+// non-decreasing ingress-time order (trace::ingress_cursor() or a
+// trace_stream_reader over a sort_by_ingress()ed file); a violation throws.
+[[nodiscard]] replay_result replay_trace(net::trace_cursor& cur,
+                                         const topology_builder& topo,
+                                         const replay_options& opt);
+
+// Convenience: replays an in-memory trace through its ingress cursor.
 [[nodiscard]] replay_result replay_trace(const net::trace& tr,
                                          const topology_builder& topo,
                                          const replay_options& opt);

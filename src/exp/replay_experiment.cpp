@@ -1,5 +1,7 @@
 #include "exp/replay_experiment.h"
 
+#include <memory>
+
 #include "net/network.h"
 #include "sim/simulator.h"
 #include "traffic/size_dist.h"
@@ -23,7 +25,12 @@ original_run run_original(const scenario& sc) {
 
   net::trace_recorder recorder(net, sc.record_hops);
 
-  const auto dist = traffic::default_heavy_tailed();
+  std::unique_ptr<traffic::flow_size_dist> dist;
+  if (sc.flows == flow_dist_kind::fixed) {
+    dist = std::make_unique<traffic::fixed_size>(sc.fixed_flow_bytes);
+  } else {
+    dist = traffic::default_heavy_tailed();
+  }
   traffic::workload_config wcfg;
   wcfg.utilization = sc.utilization;
   wcfg.seed = sc.seed;
@@ -41,11 +48,13 @@ original_run run_original(const scenario& sc) {
 }
 
 core::replay_result run_replay(const original_run& orig,
-                               core::replay_mode mode, bool keep_outcomes) {
+                               core::replay_mode mode, bool keep_outcomes,
+                               core::injection_mode injection) {
   core::replay_options opt;
   opt.mode = mode;
   opt.threshold_T = orig.threshold_T;
   opt.keep_outcomes = keep_outcomes;
+  opt.injection = injection;
   const auto& topology = orig.topology;
   return core::replay_trace(
       orig.trace,

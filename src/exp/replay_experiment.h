@@ -21,10 +21,13 @@ struct original_run {
 // traffic and records it.
 [[nodiscard]] original_run run_original(const scenario& sc);
 
-// Replays a recorded run with the given candidate UPS.
-[[nodiscard]] core::replay_result run_replay(const original_run& orig,
-                                             core::replay_mode mode,
-                                             bool keep_outcomes = false);
+// Replays a recorded run with the given candidate UPS. The single place
+// that maps an original_run onto replay_options — the serial benches and
+// the sharded harness both go through here.
+[[nodiscard]] core::replay_result run_replay(
+    const original_run& orig, core::replay_mode mode,
+    bool keep_outcomes = false,
+    core::injection_mode injection = core::injection_mode::streaming);
 
 // Convenience: original + LSTF replay in one call (a Table 1 row).
 [[nodiscard]] core::replay_result table1_row(const scenario& sc);

@@ -1,0 +1,84 @@
+#include "exp/replay_shard_runner.h"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace ups::exp {
+
+void parallel_for_jobs(std::size_t jobs, std::size_t threads,
+                       const std::function<void(std::size_t)>& body) {
+  if (jobs == 0) return;
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads > jobs) threads = jobs;
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < jobs; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::mutex err_mutex;
+  std::exception_ptr first_error;
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs) return;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mutex);
+        if (!first_error) first_error = std::current_exception();
+        next.store(jobs, std::memory_order_relaxed);  // abandon the rest
+        return;
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+std::vector<shard_result> run_sharded(const std::vector<shard_task>& tasks,
+                                      const shard_options& opt) {
+  std::vector<shard_result> results(tasks.size());
+  std::vector<original_run> originals(tasks.size());
+
+  // Stage 1: one original recording per scenario. Each job builds its own
+  // simulator + network inside run_original; nothing is shared.
+  parallel_for_jobs(tasks.size(), opt.threads, [&](std::size_t i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    originals[i] = run_original(tasks[i].sc);
+    shard_result& r = results[i];
+    r.sc = tasks[i].sc;
+    r.trace_packets = originals[i].trace.packets.size();
+    r.threshold_T = originals[i].threshold_T;
+    r.original_wall_seconds = wall_seconds_since(t0);
+    r.replays.resize(tasks[i].modes.size());
+  });
+
+  // Stage 2: replays fan out over (scenario × mode). The recorded traces
+  // are shared read-only; every job owns its replay network and writes its
+  // pre-assigned result slot, so output order never depends on scheduling.
+  std::vector<std::pair<std::size_t, std::size_t>> jobs;  // (task, mode idx)
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    for (std::size_t m = 0; m < tasks[i].modes.size(); ++m) {
+      jobs.emplace_back(i, m);
+    }
+  }
+  parallel_for_jobs(jobs.size(), opt.threads, [&](std::size_t j) {
+    const auto [i, m] = jobs[j];
+    const auto t0 = std::chrono::steady_clock::now();
+    shard_replay& out = results[i].replays[m];
+    out.mode = tasks[i].modes[m];
+    out.result = run_replay(originals[i], out.mode, opt.keep_outcomes,
+                            opt.injection);
+    out.wall_seconds = wall_seconds_since(t0);
+  });
+  return results;
+}
+
+}  // namespace ups::exp

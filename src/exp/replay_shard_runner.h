@@ -1,0 +1,71 @@
+// Sharded replay harness: fans independent (scenario × seed × replay-mode)
+// runs across a fixed thread pool, so a full Table-1-style sweep uses every
+// core while the deterministic single-threaded kernel stays untouched.
+//
+// Each worker owns its own simulator, packet pool, and network (replay_trace
+// and run_original construct them per call), and every job writes into a
+// pre-sized slot of the result vector — so the output is byte-identical to
+// running the same jobs in a serial loop, independent of thread count or
+// interleaving. Two stages: originals are recorded once per scenario
+// (stage 1, parallel over scenarios), then replays fan out over
+// (original × mode) (stage 2, parallel over both axes).
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "core/replay.h"
+#include "exp/replay_experiment.h"
+#include "exp/scenario.h"
+
+namespace ups::exp {
+
+// Wall-clock helper shared by the harness and the macro bench.
+[[nodiscard]] inline double wall_seconds_since(
+    std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// One shard: record this scenario's original schedule, then replay it with
+// each candidate mode.
+struct shard_task {
+  scenario sc;
+  std::vector<core::replay_mode> modes;
+};
+
+struct shard_replay {
+  core::replay_mode mode = core::replay_mode::lstf;
+  core::replay_result result;
+  double wall_seconds = 0;  // this replay's own wall-clock, informational
+};
+
+struct shard_result {
+  scenario sc;
+  std::uint64_t trace_packets = 0;
+  sim::time_ps threshold_T = 0;
+  double original_wall_seconds = 0;
+  std::vector<shard_replay> replays;  // same order as the task's modes
+};
+
+struct shard_options {
+  std::size_t threads = 0;  // 0: std::thread::hardware_concurrency()
+  bool keep_outcomes = false;
+  core::injection_mode injection = core::injection_mode::streaming;
+};
+
+// Runs every task and returns results in task order. Worker exceptions are
+// rethrown on the calling thread (first one wins; remaining jobs are
+// abandoned).
+[[nodiscard]] std::vector<shard_result> run_sharded(
+    const std::vector<shard_task>& tasks, const shard_options& opt = {});
+
+// The underlying pool primitive, exposed for other experiment drivers:
+// executes body(0..jobs-1), work-stealing via an atomic cursor, on
+// min(threads, jobs) threads (inline when that is <= 1).
+void parallel_for_jobs(std::size_t jobs, std::size_t threads,
+                       const std::function<void(std::size_t)>& body);
+
+}  // namespace ups::exp

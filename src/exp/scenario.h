@@ -21,6 +21,13 @@ enum class topo_kind : std::uint8_t {
 [[nodiscard]] const char* to_string(topo_kind k);
 [[nodiscard]] topo::topology make_topology(topo_kind k);
 
+// Flow-size model. The paper's figures use the heavy-tailed empirical
+// distribution; `fixed` gives light, uniform flows whose backlogs drain
+// within a few packet times — the steady-state regime where streaming
+// injection's O(in-flight) residency shows (open-loop elephant bursts keep
+// most of a heavy-tailed trace in the network at once by construction).
+enum class flow_dist_kind : std::uint8_t { heavy_tailed, fixed };
+
 struct scenario {
   topo_kind topo = topo_kind::i2_default;
   double utilization = 0.7;
@@ -28,6 +35,8 @@ struct scenario {
   std::uint64_t seed = 1;
   std::uint64_t packet_budget = 200'000;
   bool record_hops = false;  // omniscient replay needs per-hop times
+  flow_dist_kind flows = flow_dist_kind::heavy_tailed;
+  std::uint64_t fixed_flow_bytes = 15'000;  // used when flows == fixed
 
   [[nodiscard]] std::string label() const;
 };

@@ -129,10 +129,15 @@ void network::inject_at_ingress(packet_ptr p, sim::time_ps at) {
   p->created_at = at;
   ++stats_.injected;
   const node_id ingress = p->path.front();
-  post(std::move(p), ingress, at);
+  // Early-phase delivery: injected packets enter ahead of any same-instant
+  // forwarded arrival, whenever their delivery event was scheduled. This
+  // makes injection order depend only on (time, injection sequence), so
+  // streaming a trace in during the run is outcome-identical to
+  // pre-scheduling the whole trace before it.
+  post(std::move(p), ingress, at, /*early=*/true);
 }
 
-void network::post(packet_ptr p, node_id to, sim::time_ps at) {
+void network::post(packet_ptr p, node_id to, sim::time_ps at, bool early) {
   std::size_t slot;
   if (!free_slots_.empty()) {
     slot = free_slots_.back();
@@ -142,11 +147,16 @@ void network::post(packet_ptr p, node_id to, sim::time_ps at) {
     slot = in_flight_.size();
     in_flight_.push_back(std::move(p));
   }
-  sim_.schedule_at(at, [this, slot, to] {
+  auto deliver_cb = [this, slot, to] {
     packet_ptr q = std::move(in_flight_[slot]);
     free_slots_.push_back(slot);
     deliver(std::move(q), to);
-  });
+  };
+  if (early) {
+    sim_.schedule_early(at, std::move(deliver_cb));
+  } else {
+    sim_.schedule_at(at, std::move(deliver_cb));
+  }
 }
 
 void network::transmitted(packet_ptr p, const port& from_port,

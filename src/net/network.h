@@ -135,7 +135,8 @@ class network {
   };
 
   void deliver(packet_ptr p, node_id at);
-  void post(packet_ptr p, node_id to, sim::time_ps at);
+  // `early`: deliver ahead of same-instant normal events (replay injection).
+  void post(packet_ptr p, node_id to, sim::time_ps at, bool early = false);
   [[nodiscard]] const port* find_port(node_id from, node_id to) const;
 
   sim::simulator& sim_;

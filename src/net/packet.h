@@ -62,6 +62,12 @@ struct packet {
   sim::time_ps queueing_delay = 0;  // total waiting across all ports
   std::vector<sim::time_ps> hop_departs;  // last-bit exit per router
   bool record_hops = false;
+  // Replay accounting: the recorded o(p) and queueing delay this packet is
+  // measured against. The streaming replay engine settles overdue counters
+  // at egress, after the packet's record has left the trace cursor, so the
+  // reference values must travel with the packet. -1 = not a replay packet.
+  sim::time_ps ref_egress_time = -1;
+  sim::time_ps ref_queueing_delay = 0;
 
   [[nodiscard]] bool at_last_router() const noexcept {
     return hop + 1 >= path.size();
@@ -100,6 +106,8 @@ struct packet {
     queueing_delay = 0;
     hop_departs.clear();
     record_hops = false;
+    ref_egress_time = -1;
+    ref_queueing_delay = 0;
   }
 };
 

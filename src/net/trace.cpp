@@ -1,6 +1,31 @@
 #include "net/trace.h"
 
+#include <algorithm>
+#include <numeric>
+
 namespace ups::net {
+
+trace_ingress_cursor::trace_ingress_cursor(const trace& t) : trace_(&t) {
+  order_.resize(t.packets.size());
+  std::iota(order_.begin(), order_.end(), 0u);
+  std::stable_sort(order_.begin(), order_.end(),
+                   [&t](std::uint32_t a, std::uint32_t b) {
+                     return t.packets[a].ingress_time <
+                            t.packets[b].ingress_time;
+                   });
+}
+
+const packet_record* trace_ingress_cursor::next() {
+  if (pos_ >= order_.size()) return nullptr;
+  return &trace_->packets[order_[pos_++]];
+}
+
+void sort_by_ingress(trace& t) {
+  std::stable_sort(t.packets.begin(), t.packets.end(),
+                   [](const packet_record& a, const packet_record& b) {
+                     return a.ingress_time < b.ingress_time;
+                   });
+}
 
 trace_recorder::trace_recorder(network& net, bool with_hop_times)
     : with_hop_times_(with_hop_times) {

@@ -29,9 +29,55 @@ struct packet_record {
   std::vector<sim::time_ps> hop_departs;  // per-router last-bit exits
 };
 
+// Pull-based source of packet records in non-decreasing ingress-time order —
+// the contract the streaming replay engine injects against. Implementations
+// may own their storage (file readers) or view someone else's (in-memory
+// traces); the returned pointer is valid until the next next() call.
+class trace_cursor {
+ public:
+  virtual ~trace_cursor() = default;
+  // Next record, or nullptr when exhausted.
+  [[nodiscard]] virtual const packet_record* next() = 0;
+  // Total records when known up front, 0 otherwise (used only to reserve).
+  [[nodiscard]] virtual std::size_t size_hint() const noexcept { return 0; }
+};
+
+struct trace;
+
+// Cursor over an in-memory trace, yielding records sorted by
+// (ingress_time, position in the trace) without copying them: only an index
+// vector is materialized, never a second copy of the packets.
+class trace_ingress_cursor final : public trace_cursor {
+ public:
+  explicit trace_ingress_cursor(const trace& t);
+
+  [[nodiscard]] const packet_record* next() override;
+  [[nodiscard]] std::size_t size_hint() const noexcept override {
+    return order_.size();
+  }
+
+ private:
+  const trace* trace_;
+  std::vector<std::uint32_t> order_;
+  std::size_t pos_ = 0;
+};
+
 struct trace {
   std::vector<packet_record> packets;
+
+  // Streams the trace in ingress-time order (recorders append in egress
+  // order, so replay cannot just walk `packets`). Lvalues only: the cursor
+  // views this trace's storage, so a cursor off a temporary would dangle.
+  [[nodiscard]] trace_ingress_cursor ingress_cursor() const& {
+    return trace_ingress_cursor(*this);
+  }
+  trace_ingress_cursor ingress_cursor() && = delete;
 };
+
+// Reorders `packets` in place by (ingress_time, previous position). A trace
+// saved after this is streamable by trace_stream_reader + replay without an
+// in-memory sort on the consumer side.
+void sort_by_ingress(trace& t);
 
 // Hooks a network's egress callback and accumulates one record per packet.
 // Keep the recorder alive for the duration of the simulation.

@@ -7,8 +7,34 @@
 namespace ups::net {
 
 namespace {
+
 constexpr const char* kMagic = "ups-trace v1";
+
+// Parses one packet line into `r`, reusing its vector capacity. Shared by
+// the batch loader and the streaming reader so the format lives in one place.
+void read_record(std::istream& is, packet_record& r) {
+  std::size_t path_len = 0;
+  is >> r.id >> r.flow_id >> r.seq_in_flow >> r.size_bytes >> r.src_host >>
+      r.dst_host >> r.ingress_time >> r.egress_time >> r.queueing_delay >>
+      r.flow_size_bytes >> path_len;
+  r.path.resize(path_len);
+  for (auto& h : r.path) is >> h;
+  std::size_t departs = 0;
+  is >> departs;
+  r.hop_departs.resize(departs);
+  for (auto& d : r.hop_departs) is >> d;
+  if (!is) throw std::runtime_error("trace: truncated record");
 }
+
+void read_magic(std::istream& is) {
+  std::string magic;
+  std::getline(is, magic);
+  if (magic != kMagic) {
+    throw std::runtime_error("trace: bad magic line '" + magic + "'");
+  }
+}
+
+}  // namespace
 
 void write_trace(std::ostream& os, const trace& t) {
   os << kMagic << "\n" << t.packets.size() << "\n";
@@ -25,31 +51,40 @@ void write_trace(std::ostream& os, const trace& t) {
 }
 
 trace read_trace(std::istream& is) {
-  std::string magic;
-  std::getline(is, magic);
-  if (magic != kMagic) {
-    throw std::runtime_error("trace: bad magic line '" + magic + "'");
-  }
+  read_magic(is);
   std::size_t n = 0;
   is >> n;
   trace t;
   t.packets.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     packet_record r;
-    std::size_t path_len = 0;
-    is >> r.id >> r.flow_id >> r.seq_in_flow >> r.size_bytes >> r.src_host >>
-        r.dst_host >> r.ingress_time >> r.egress_time >> r.queueing_delay >>
-        r.flow_size_bytes >> path_len;
-    r.path.resize(path_len);
-    for (auto& h : r.path) is >> h;
-    std::size_t departs = 0;
-    is >> departs;
-    r.hop_departs.resize(departs);
-    for (auto& d : r.hop_departs) is >> d;
-    if (!is) throw std::runtime_error("trace: truncated record");
+    read_record(is, r);
     t.packets.push_back(std::move(r));
   }
   return t;
+}
+
+trace_stream_reader::trace_stream_reader(std::istream& is) : is_(&is) {
+  read_header();
+}
+
+trace_stream_reader::trace_stream_reader(const std::string& path)
+    : owned_(path), is_(&owned_) {
+  if (!owned_) throw std::runtime_error("trace: cannot open " + path);
+  read_header();
+}
+
+void trace_stream_reader::read_header() {
+  read_magic(*is_);
+  *is_ >> declared_;
+  if (!*is_) throw std::runtime_error("trace: truncated header");
+}
+
+const packet_record* trace_stream_reader::next() {
+  if (read_ >= declared_) return nullptr;
+  read_record(*is_, rec_);
+  ++read_;
+  return &rec_;
 }
 
 void save_trace(const std::string& path, const trace& t) {

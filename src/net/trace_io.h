@@ -8,6 +8,7 @@
 //       <flowsize> <npath> <hop0> ... <ndeparts> <d0> ...
 #pragma once
 
+#include <fstream>
 #include <iosfwd>
 #include <string>
 
@@ -20,5 +21,34 @@ void write_trace(std::ostream& os, const trace& t);
 
 void save_trace(const std::string& path, const trace& t);
 [[nodiscard]] trace load_trace(const std::string& path);
+
+// Streaming reader: parses one record per next() call into storage reused
+// across calls, so walking a trace file needs O(1) memory regardless of its
+// length. Yields records in file order; pair with a file written from a
+// sort_by_ingress()ed trace when the consumer (the streaming replay engine)
+// requires ingress-time order.
+class trace_stream_reader final : public trace_cursor {
+ public:
+  // Reads and validates the header; `is` must outlive the reader.
+  explicit trace_stream_reader(std::istream& is);
+  // Convenience: opens and owns the file stream.
+  explicit trace_stream_reader(const std::string& path);
+
+  [[nodiscard]] const packet_record* next() override;
+  [[nodiscard]] std::size_t size_hint() const noexcept override {
+    return declared_;
+  }
+  // Records handed out so far.
+  [[nodiscard]] std::size_t read() const noexcept { return read_; }
+
+ private:
+  void read_header();
+
+  std::ifstream owned_;
+  std::istream* is_;
+  std::size_t declared_ = 0;
+  std::size_t read_ = 0;
+  packet_record rec_;
+};
 
 }  // namespace ups::net

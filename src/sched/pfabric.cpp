@@ -5,35 +5,73 @@
 
 namespace ups::sched {
 
+std::int32_t pfabric::flow_slot_for(std::uint64_t flow_id) {
+  const auto it = flow_slot_.find(flow_id);
+  if (it != flow_slot_.end()) return it->second;
+  const auto slot = static_cast<std::int32_t>(flows_.size());
+  flows_.push_back(flow_state{});
+  flow_slot_.emplace(flow_id, slot);
+  return slot;
+}
+
 void pfabric::enqueue(net::packet_ptr p, sim::time_ps /*now*/) {
-  const std::uint64_t uid = next_uid_++;
-  const std::int64_t rank = rank_of(*p);
-  const std::uint64_t flow = p->flow_id;
+  std::int32_t n;
+  if (!free_nodes_.empty()) {
+    n = free_nodes_.back();
+    free_nodes_.pop_back();
+  } else {
+    n = static_cast<std::int32_t>(slab_.size());
+    slab_.emplace_back();
+  }
+  const std::int32_t fs = flow_slot_for(p->flow_id);
+  qnode& node = slab_[n];
+  node.rank = rank_of(*p);
+  node.uid = next_uid_++;
+  node.flow_slot = fs;
+  node.prev = flows_[fs].tail;
+  node.next = -1;
   bytes_ += p->size_bytes;
-  rank_index_.emplace(std::make_pair(rank, uid), std::make_pair(flow, uid));
-  flows_[flow].emplace(uid, entry{std::move(p), rank});
+  rank_index_.emplace(rank_key{node.rank, node.uid}, n);
+  node.p = std::move(p);
+  flow_state& f = flows_[fs];
+  if (f.tail >= 0) {
+    slab_[f.tail].next = n;
+  } else {
+    f.head = n;
+  }
+  f.tail = n;
+}
+
+net::packet_ptr pfabric::extract(std::int32_t n) {
+  qnode& node = slab_[n];
+  flow_state& f = flows_[node.flow_slot];
+  if (node.prev >= 0) {
+    slab_[node.prev].next = node.next;
+  } else {
+    f.head = node.next;
+  }
+  if (node.next >= 0) {
+    slab_[node.next].prev = node.prev;
+  } else {
+    f.tail = node.prev;
+  }
+  rank_index_.erase(rank_key{node.rank, node.uid});
+  net::packet_ptr p = std::move(node.p);
+  node.prev = node.next = -1;
+  node.flow_slot = -1;
+  free_nodes_.push_back(n);
+  bytes_ -= p->size_bytes;
+  return p;
 }
 
 net::packet_ptr pfabric::dequeue(sim::time_ps /*now*/) {
   if (rank_index_.empty()) return nullptr;
   // Highest-priority packet selects the flow; serve that flow's earliest
   // arrived packet (starvation prevention).
-  const auto flow = rank_index_.begin()->second.first;
-  auto fit = flows_.find(flow);
-  assert(fit != flows_.end() && !fit->second.empty());
-  const std::uint64_t uid = fit->second.begin()->first;
-  return remove(flow, uid);
-}
-
-net::packet_ptr pfabric::remove(std::uint64_t flow, std::uint64_t uid) {
-  auto fit = flows_.find(flow);
-  auto eit = fit->second.find(uid);
-  net::packet_ptr p = std::move(eit->second.p);
-  rank_index_.erase(std::make_pair(eit->second.rank, uid));
-  fit->second.erase(eit);
-  if (fit->second.empty()) flows_.erase(fit);
-  bytes_ -= p->size_bytes;
-  return p;
+  const std::int32_t best = rank_index_.begin()->second;
+  const std::int32_t head = flows_[slab_[best].flow_slot].head;
+  assert(head >= 0);
+  return extract(head);
 }
 
 net::packet_ptr pfabric::evict_for(const net::packet& incoming,
@@ -41,7 +79,7 @@ net::packet_ptr pfabric::evict_for(const net::packet& incoming,
   if (rank_index_.empty()) return nullptr;
   const auto worst = std::prev(rank_index_.end());
   if (rank_of(incoming) >= worst->first.first) return nullptr;
-  return remove(worst->second.first, worst->second.second);
+  return extract(worst->second);
 }
 
 }  // namespace ups::sched

@@ -45,11 +45,21 @@ class simulator {
   [[nodiscard]] time_ps now() const noexcept { return now_; }
 
   handle schedule_at(time_ps t, callback cb) {
-    return schedule(t, /*phase=*/0, std::move(cb));
+    return schedule(t, kPhaseNormal, std::move(cb));
   }
 
   handle schedule_in(time_ps dt, callback cb) {
-    return schedule(now_ + dt, /*phase=*/0, std::move(cb));
+    return schedule(now_ + dt, kPhaseNormal, std::move(cb));
+  }
+
+  // Runs before every normal event with the same timestamp, regardless of
+  // when it was scheduled. Replay injection uses this so that a packet
+  // injected at instant t is delivered ahead of same-instant forwarded
+  // arrivals whose events were scheduled earlier — exactly the order
+  // up-front injection gets for free by pre-scheduling everything, which
+  // keeps streaming injection outcome-identical when ranks tie.
+  handle schedule_early(time_ps t, callback cb) {
+    return schedule(t, kPhaseEarly, std::move(cb));
   }
 
   // Runs after every normal event with the same timestamp, including normal
@@ -58,7 +68,7 @@ class simulator {
   // still propagating through zero-delay forwarding chains — are visible to
   // the scheduler before it picks.
   handle schedule_late(time_ps t, callback cb) {
-    return schedule(t, /*phase=*/1, std::move(cb));
+    return schedule(t, kPhaseLate, std::move(cb));
   }
 
   // Cancels a pending event. Cancelling an already-run, already-cancelled,
@@ -115,6 +125,10 @@ class simulator {
   static constexpr std::uint64_t kSlotBits = 24;
   static constexpr std::uint64_t kSlotMask = (1ull << kSlotBits) - 1;
   static constexpr std::uint64_t kGenMask = (1ull << 40) - 1;
+  // Same-instant ordering: early < normal < late, then scheduling order.
+  static constexpr std::uint8_t kPhaseEarly = 0;
+  static constexpr std::uint8_t kPhaseNormal = 1;
+  static constexpr std::uint8_t kPhaseLate = 2;
 
   struct event_slot {
     callback cb;
@@ -124,8 +138,9 @@ class simulator {
   };
 
   // Flat sort key: comparisons never touch the slot slab. `order` packs
-  // (phase << 62) | seq — phase dominates, then scheduling order; seq is a
-  // process-lifetime counter and cannot reach 2^62.
+  // (phase << 62) | seq — phase (2 bits: early/normal/late) dominates, then
+  // scheduling order; seq is a process-lifetime counter and cannot reach
+  // 2^62.
   struct heap_entry {
     time_ps at;
     std::uint64_t order;

@@ -1,0 +1,28 @@
+// Shared test helper: full-field replay_result identity (everything except
+// the informational residency high-water marks, which depend on injection
+// strategy by design).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "core/replay.h"
+
+namespace ups::testing {
+
+inline void expect_identical_results(const core::replay_result& a,
+                                     const core::replay_result& b) {
+  EXPECT_EQ(a.total, b.total);
+  EXPECT_EQ(a.overdue, b.overdue);
+  EXPECT_EQ(a.overdue_beyond_T, b.overdue_beyond_T);
+  EXPECT_EQ(a.threshold_T, b.threshold_T);
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_EQ(a.outcomes[i].id, b.outcomes[i].id);
+    EXPECT_EQ(a.outcomes[i].original_out, b.outcomes[i].original_out);
+    EXPECT_EQ(a.outcomes[i].replay_out, b.outcomes[i].replay_out);
+    EXPECT_EQ(a.outcomes[i].original_queueing, b.outcomes[i].original_queueing);
+    EXPECT_EQ(a.outcomes[i].replay_queueing, b.outcomes[i].replay_queueing);
+  }
+}
+
+}  // namespace ups::testing

@@ -7,10 +7,13 @@
 
 #include "core/registry.h"
 #include "core/replay.h"
+#include "gadget_runner.h"
 #include "net/network.h"
 #include "net/trace.h"
+#include "replay_test_util.h"
 #include "sim/simulator.h"
 #include "topo/basic.h"
+#include "topo/gadgets.h"
 #include "traffic/size_dist.h"
 #include "traffic/udp_app.h"
 #include "traffic/workload.h"
@@ -194,6 +197,118 @@ TEST(replay_engine, lstf_slack_initialization_formula) {
     const auto slack = rec.egress_time - rec.ingress_time - tmin;
     EXPECT_GE(slack, 0) << "viable schedules never have negative slack";
   }
+}
+
+using ups::testing::expect_identical_results;
+
+replay_result replay_with_injection(const recorded& r, replay_mode mode,
+                                    injection_mode injection) {
+  replay_options opt;
+  opt.mode = mode;
+  opt.keep_outcomes = true;
+  opt.injection = injection;
+  const auto& topology = r.topology;
+  return replay_trace(
+      r.trace, [&topology](net::network& n) { topo::populate(topology, n); },
+      opt);
+}
+
+TEST(replay_engine, streaming_injection_matches_upfront) {
+  const auto r = record_run(topo::dumbbell(4, 10 * sim::kGbps, sim::kGbps),
+                            sched_kind::random, 4'000, 0.8);
+  for (const auto mode : {replay_mode::lstf, replay_mode::lstf_preemptive,
+                          replay_mode::edf,
+                          replay_mode::priority_output_time}) {
+    const auto streamed =
+        replay_with_injection(r, mode, injection_mode::streaming);
+    const auto upfront =
+        replay_with_injection(r, mode, injection_mode::upfront);
+    expect_identical_results(streamed, upfront);
+  }
+}
+
+TEST(replay_engine, streaming_injection_matches_upfront_on_gadget_trace) {
+  // The theory gadgets prescribe exact per-hop schedules, so any injection
+  // artifact (reordered same-instant arrivals, a shifted service decision)
+  // shows up as a hard outcome diff rather than statistical noise.
+  for (const int c : {1, 2}) {
+    const auto g = topo::fig5_case(c);
+    const auto run = testing::run_gadget_original(g);
+    recorded rec;
+    rec.topology = run.topology;
+    rec.trace = run.trace;
+    for (const auto mode : {replay_mode::lstf, replay_mode::edf,
+                            replay_mode::omniscient}) {
+      const auto streamed =
+          replay_with_injection(rec, mode, injection_mode::streaming);
+      const auto upfront =
+          replay_with_injection(rec, mode, injection_mode::upfront);
+      expect_identical_results(streamed, upfront);
+    }
+  }
+}
+
+TEST(replay_engine, streaming_preserves_injection_order_on_rank_ties) {
+  // Regression: an injection landing at the exact instant a forwarded
+  // packet arrives at the same router, with equal ranks (EDF deadlines
+  // here). Up-front injection pre-schedules all deliveries, so the injected
+  // packet enqueues first and wins the FCFS tie-break; streaming must
+  // reproduce that via early-phase delivery, not lose it to event-sequence
+  // ordering.
+  const auto delay = sim::kMicrosecond;
+  recorded r;
+  r.topology = topo::parking_lot(3, sim::kGbps, delay);
+
+  net::packet_record b;  // forwarded packet: crosses r1 mid-path
+  b.id = 1;
+  b.flow_id = 1;
+  b.size_bytes = 1500;
+  b.src_host = r.topology.host_id(0);
+  b.dst_host = r.topology.host_id(2);
+  b.path = {0, 1, 2};
+  b.ingress_time = 0;
+  b.egress_time = sim::kMillisecond;  // rank tie with `a` under EDF
+
+  net::packet_record a;  // injected at r1 exactly when b arrives there
+  a.id = 2;
+  a.flow_id = 2;
+  a.size_bytes = 1500;
+  a.src_host = r.topology.host_id(1);
+  a.dst_host = r.topology.host_id(2);
+  a.path = {1, 2};
+  a.ingress_time = sim::transmission_time(1500, sim::kGbps) + delay;
+  a.egress_time = sim::kMillisecond;
+
+  r.trace.packets = {b, a};
+  for (const auto mode :
+       {replay_mode::edf, replay_mode::priority_output_time}) {
+    const auto streamed =
+        replay_with_injection(r, mode, injection_mode::streaming);
+    const auto upfront =
+        replay_with_injection(r, mode, injection_mode::upfront);
+    expect_identical_results(streamed, upfront);
+    // The injected packet must win the tie at the shared port, as it does
+    // under up-front injection: it transmits first and egresses earlier.
+    ASSERT_EQ(streamed.outcomes[0].id, 1u);
+    ASSERT_EQ(streamed.outcomes[1].id, 2u);
+    EXPECT_LT(streamed.outcomes[1].replay_out, streamed.outcomes[0].replay_out);
+  }
+}
+
+TEST(replay_engine, streaming_injection_cuts_peak_residency) {
+  // Long trace over a short-RTT topology: only the in-flight window should
+  // ever be resident under streaming, while up-front injection always
+  // materializes the whole trace.
+  const auto r = record_run(topo::dumbbell(4, 10 * sim::kGbps, sim::kGbps),
+                            sched_kind::fifo, 6'000, 0.5);
+  const auto streamed =
+      replay_with_injection(r, replay_mode::lstf, injection_mode::streaming);
+  const auto upfront =
+      replay_with_injection(r, replay_mode::lstf, injection_mode::upfront);
+  expect_identical_results(streamed, upfront);
+  EXPECT_EQ(upfront.peak_pool_packets, r.trace.packets.size());
+  EXPECT_LT(streamed.peak_pool_packets, upfront.peak_pool_packets / 4);
+  EXPECT_LT(streamed.peak_event_slots, upfront.peak_event_slots / 4);
 }
 
 TEST(replay_engine, replay_mode_names) {

@@ -1,0 +1,127 @@
+// Tests for the sharded replay harness: N-thread runs must be byte-identical
+// to the plain serial loop, regardless of thread count, and worker failures
+// must surface on the calling thread.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "core/replay.h"
+#include "exp/replay_experiment.h"
+#include "exp/replay_shard_runner.h"
+#include "replay_test_util.h"
+
+namespace ups::exp {
+namespace {
+
+using ups::testing::expect_identical_results;
+
+std::vector<shard_task> small_sweep() {
+  const std::vector<core::replay_mode> modes = {
+      core::replay_mode::lstf,
+      core::replay_mode::lstf_preemptive,
+      core::replay_mode::edf,
+      core::replay_mode::priority_output_time,
+  };
+  std::vector<shard_task> tasks;
+  const struct {
+    topo_kind topo;
+    double util;
+    std::uint64_t seed;
+  } specs[] = {
+      {topo_kind::i2_default, 0.7, 1},
+      {topo_kind::i2_default, 0.5, 2},
+      {topo_kind::fattree, 0.7, 1},
+  };
+  for (const auto& s : specs) {
+    shard_task t;
+    t.sc.topo = s.topo;
+    t.sc.utilization = s.util;
+    t.sc.sched = core::sched_kind::random;
+    t.sc.seed = s.seed;
+    t.sc.packet_budget = 1'500;
+    t.modes = modes;
+    tasks.push_back(std::move(t));
+  }
+  return tasks;
+}
+
+TEST(replay_shard, four_threads_byte_identical_to_serial_loop) {
+  const auto tasks = small_sweep();
+
+  // Reference: the plain serial loop over run_original + run_replay, the
+  // way every pre-sharding bench drove the pipeline.
+  std::vector<std::vector<core::replay_result>> reference;
+  for (const auto& t : tasks) {
+    const auto orig = run_original(t.sc);
+    std::vector<core::replay_result> row;
+    for (const auto mode : t.modes) {
+      row.push_back(run_replay(orig, mode, /*keep_outcomes=*/true));
+    }
+    reference.push_back(std::move(row));
+  }
+
+  shard_options opt;
+  opt.threads = 4;
+  opt.keep_outcomes = true;
+  const auto sharded = run_sharded(tasks, opt);
+
+  ASSERT_EQ(sharded.size(), tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_EQ(sharded[i].trace_packets, reference[i][0].total);
+    ASSERT_EQ(sharded[i].replays.size(), tasks[i].modes.size());
+    for (std::size_t m = 0; m < tasks[i].modes.size(); ++m) {
+      EXPECT_EQ(sharded[i].replays[m].mode, tasks[i].modes[m]);
+      expect_identical_results(sharded[i].replays[m].result, reference[i][m]);
+    }
+  }
+}
+
+TEST(replay_shard, thread_count_does_not_change_results) {
+  const auto tasks = small_sweep();
+  shard_options one;
+  one.threads = 1;
+  one.keep_outcomes = true;
+  shard_options many;
+  many.threads = 8;
+  many.keep_outcomes = true;
+  const auto serial = run_sharded(tasks, one);
+  const auto sharded = run_sharded(tasks, many);
+  ASSERT_EQ(serial.size(), sharded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].trace_packets, sharded[i].trace_packets);
+    EXPECT_EQ(serial[i].threshold_T, sharded[i].threshold_T);
+    ASSERT_EQ(serial[i].replays.size(), sharded[i].replays.size());
+    for (std::size_t m = 0; m < serial[i].replays.size(); ++m) {
+      expect_identical_results(serial[i].replays[m].result,
+                               sharded[i].replays[m].result);
+    }
+  }
+}
+
+TEST(replay_shard, parallel_for_covers_every_job_exactly_once) {
+  std::vector<std::atomic<int>> hits(97);
+  parallel_for_jobs(hits.size(), 4,
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(replay_shard, worker_exception_propagates_to_caller) {
+  EXPECT_THROW(
+      parallel_for_jobs(64, 4,
+                        [](std::size_t i) {
+                          if (i == 13) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(replay_shard, zero_and_single_job_edge_cases) {
+  parallel_for_jobs(0, 4, [](std::size_t) { FAIL(); });
+  int ran = 0;
+  parallel_for_jobs(1, 4, [&](std::size_t) { ++ran; });
+  EXPECT_EQ(ran, 1);
+}
+
+}  // namespace
+}  // namespace ups::exp

@@ -126,5 +126,93 @@ TEST(trace_io, missing_file_throws) {
                std::runtime_error);
 }
 
+TEST(trace_io, ingress_cursor_yields_sorted_records_without_copying) {
+  const auto r = small_run(false);
+  auto cur = r.tr.ingress_cursor();
+  EXPECT_EQ(cur.size_hint(), r.tr.packets.size());
+  sim::time_ps last = -1;
+  std::size_t n = 0;
+  while (const packet_record* rec = cur.next()) {
+    EXPECT_GE(rec->ingress_time, last);
+    last = rec->ingress_time;
+    // The cursor views the trace's own records, it does not copy them.
+    EXPECT_GE(rec, r.tr.packets.data());
+    EXPECT_LT(rec, r.tr.packets.data() + r.tr.packets.size());
+    ++n;
+  }
+  EXPECT_EQ(n, r.tr.packets.size());
+}
+
+TEST(trace_io, stream_reader_matches_batch_loader) {
+  const auto r = small_run(true);
+  std::stringstream ss;
+  write_trace(ss, r.tr);
+  trace_stream_reader reader(ss);
+  EXPECT_EQ(reader.size_hint(), r.tr.packets.size());
+  trace streamed;
+  while (const packet_record* rec = reader.next()) {
+    streamed.packets.push_back(*rec);
+  }
+  EXPECT_EQ(reader.read(), r.tr.packets.size());
+  expect_equal(r.tr, streamed);
+}
+
+TEST(trace_io, stream_reader_bad_magic_throws) {
+  std::stringstream ss("not-a-trace\n0\n");
+  EXPECT_THROW(trace_stream_reader reader(ss), std::runtime_error);
+}
+
+TEST(trace_io, sorted_file_streams_straight_into_replay) {
+  // The RocketFuel-scale workflow: sort once at record time, then replay
+  // directly from disk through the stream reader — the full trace is never
+  // materialized on the replay side.
+  auto r = small_run(false);
+  const auto& topology = r.topology;
+  const auto builder = [&topology](network& n) { topo::populate(topology, n); };
+  core::replay_options opt;
+  opt.mode = core::replay_mode::lstf;
+  opt.keep_outcomes = true;
+  const auto res_mem = core::replay_trace(r.tr, builder, opt);
+
+  sort_by_ingress(r.tr);
+  const std::string path = ::testing::TempDir() + "/ups_trace_sorted.txt";
+  save_trace(path, r.tr);
+  trace_stream_reader reader(path);
+  const auto res_stream = core::replay_trace(reader, builder, opt);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(res_stream.total, res_mem.total);
+  EXPECT_EQ(res_stream.overdue, res_mem.overdue);
+  ASSERT_EQ(res_stream.outcomes.size(), res_mem.outcomes.size());
+  for (std::size_t i = 0; i < res_mem.outcomes.size(); ++i) {
+    EXPECT_EQ(res_stream.outcomes[i].id, res_mem.outcomes[i].id);
+    EXPECT_EQ(res_stream.outcomes[i].replay_out,
+              res_mem.outcomes[i].replay_out);
+  }
+}
+
+TEST(trace_io, unsorted_cursor_rejected_by_replay) {
+  auto r = small_run(false);
+  // A recorder-ordered (egress-time) file is not ingress-sorted; feeding it
+  // to the replay engine directly must throw, not silently misreplay.
+  bool out_of_order = false;
+  for (std::size_t i = 1; i < r.tr.packets.size(); ++i) {
+    if (r.tr.packets[i].ingress_time < r.tr.packets[i - 1].ingress_time) {
+      out_of_order = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(out_of_order) << "congested run should egress out of ingress order";
+  std::stringstream ss;
+  write_trace(ss, r.tr);
+  trace_stream_reader reader(ss);
+  const auto& topology = r.topology;
+  const auto builder = [&topology](network& n) { topo::populate(topology, n); };
+  core::replay_options opt;
+  opt.mode = core::replay_mode::lstf;
+  EXPECT_THROW(static_cast<void>(core::replay_trace(reader, builder, opt)),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace ups::net
