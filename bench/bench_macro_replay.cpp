@@ -7,22 +7,37 @@
 // per-mode overdue fractions, and a peak-residency proxy comparing
 // streaming vs up-front injection on the largest scenario.
 //
+// A disk-replay lane measures the v2 binary trace format against v1 text:
+// the largest scenario's trace is written in both formats, drained through
+// both readers (ingestion packets/sec and MB/s — the number that bounds
+// how large a workload the replay framework can evaluate), and replayed
+// end-to-end from both files across every mode, serial and sharded (every
+// sharded worker mmaps the same v2 file read-only; the OS shares one
+// physical copy).
+//
 // Gates (process exits non-zero on violation):
-//   identity   sharded results must be byte-identical to the serial run
-//              (counters, thresholds, and per-packet outcomes for every
-//              scenario × mode cell) — always on
-//   speedup    sharded packets/sec >= --min-speedup × serial packets/sec;
-//              enforced only when the machine actually has >= 2 hardware
-//              threads and --threads >= 2 (a 1-core box cannot exhibit a
-//              wall-clock speedup; the gate reports SKIPPED instead of
-//              producing a meaningless failure)
-//   residency  streaming peak packet-pool residency on the largest scenario
-//              <= --max-residency × the up-front peak — the O(in-flight)
-//              vs O(trace) claim, measured, not assumed
+//   identity      sharded results must be byte-identical to the serial run
+//                 (counters, thresholds, and per-packet outcomes for every
+//                 scenario × mode cell) — always on
+//   speedup       sharded packets/sec >= --min-speedup × serial packets/sec;
+//                 enforced only when the machine actually has >= 2 hardware
+//                 threads and --threads >= 2 (a 1-core box cannot exhibit a
+//                 wall-clock speedup; the gate reports SKIPPED instead of
+//                 producing a meaningless failure)
+//   residency     streaming peak packet-pool residency on the largest
+//                 scenario <= --max-residency × the up-front peak — the
+//                 O(in-flight) vs O(trace) claim, measured, not assumed
+//   disk identity replaying the v2 binary must produce byte-identical
+//                 results to the v1 text path for every replay mode,
+//                 serial and sharded — always on
+//   disk speedup  binary (mmap) replay ingestion >= --min-disk-speedup ×
+//                 the text reader's packets/sec (default 3x) — always on:
+//                 ingestion is single-threaded I/O work, measurable even on
+//                 a 1-core box
 //
 // Usage: bench_macro_replay [--packets=N] [--seed=N] [--scale=F] [--quick]
 //                           [--threads=N] [--out=FILE] [--min-speedup=X]
-//                           [--max-residency=F]
+//                           [--max-residency=F] [--min-disk-speedup=X]
 
 #include <algorithm>
 #include <chrono>
@@ -36,15 +51,37 @@
 
 #include "exp/args.h"
 #include "exp/replay_shard_runner.h"
+#include "net/trace_binary.h"
+#include "net/trace_io.h"
 
 namespace {
 
 using namespace ups;
 
-// Identity compares everything deterministic: aggregate counters AND the
-// per-packet outcome vectors (both passes run with keep_outcomes on), so a
-// divergence that happens to preserve the overdue counts still fails the
+// Result identity compares everything deterministic: aggregate counters AND
+// the per-packet outcome vectors (all passes run with keep_outcomes on), so
+// a divergence that happens to preserve the overdue counts still fails the
 // gate. Timings are the only fields excluded.
+bool same_result(const core::replay_result& x, const core::replay_result& y) {
+  if (x.total != y.total || x.overdue != y.overdue ||
+      x.overdue_beyond_T != y.overdue_beyond_T ||
+      x.threshold_T != y.threshold_T) {
+    return false;
+  }
+  if (x.outcomes.size() != y.outcomes.size()) return false;
+  for (std::size_t k = 0; k < x.outcomes.size(); ++k) {
+    const auto& ox = x.outcomes[k];
+    const auto& oy = y.outcomes[k];
+    if (ox.id != oy.id || ox.original_out != oy.original_out ||
+        ox.replay_out != oy.replay_out ||
+        ox.original_queueing != oy.original_queueing ||
+        ox.replay_queueing != oy.replay_queueing) {
+      return false;
+    }
+  }
+  return true;
+}
+
 bool identical(const std::vector<exp::shard_result>& a,
                const std::vector<exp::shard_result>& b) {
   if (a.size() != b.size()) return false;
@@ -53,27 +90,43 @@ bool identical(const std::vector<exp::shard_result>& a,
     if (a[i].threshold_T != b[i].threshold_T) return false;
     if (a[i].replays.size() != b[i].replays.size()) return false;
     for (std::size_t m = 0; m < a[i].replays.size(); ++m) {
-      const auto& x = a[i].replays[m].result;
-      const auto& y = b[i].replays[m].result;
-      if (x.total != y.total || x.overdue != y.overdue ||
-          x.overdue_beyond_T != y.overdue_beyond_T ||
-          x.threshold_T != y.threshold_T) {
+      if (!same_result(a[i].replays[m].result, b[i].replays[m].result)) {
         return false;
-      }
-      if (x.outcomes.size() != y.outcomes.size()) return false;
-      for (std::size_t k = 0; k < x.outcomes.size(); ++k) {
-        const auto& ox = x.outcomes[k];
-        const auto& oy = y.outcomes[k];
-        if (ox.id != oy.id || ox.original_out != oy.original_out ||
-            ox.replay_out != oy.replay_out ||
-            ox.original_queueing != oy.original_queueing ||
-            ox.replay_queueing != oy.replay_queueing) {
-          return false;
-        }
       }
     }
   }
   return true;
+}
+
+// Drains every record from a cursor — the pure ingestion cost of a trace
+// format, with zero simulation work attached. The per-record fold (sum of
+// a few fields) keeps the decode from being optimized away.
+struct ingest_stats {
+  std::uint64_t records = 0;
+  std::uint64_t checksum = 0;
+  double wall_seconds = 0;
+};
+
+ingest_stats drain(net::trace_cursor& cur) {
+  ingest_stats s;
+  std::vector<const net::packet_record*> run;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (;;) {
+    run.clear();
+    if (cur.next_run(run) == 0) break;
+    for (const net::packet_record* r : run) {
+      ++s.records;
+      s.checksum += r->id + static_cast<std::uint64_t>(r->ingress_time) +
+                    r->path.size() + r->hop_departs.size();
+    }
+  }
+  s.wall_seconds = exp::wall_seconds_since(t0);
+  return s;
+}
+
+[[nodiscard]] std::uint64_t file_bytes(const std::string& path) {
+  std::ifstream is(path, std::ios::binary | std::ios::ate);
+  return is ? static_cast<std::uint64_t>(is.tellg()) : 0;
 }
 
 }  // namespace
@@ -84,6 +137,7 @@ int main(int argc, char** argv) {
   std::string out_path = "BENCH_macro_replay.json";
   double min_speedup = 2.0;
   double max_residency = 0.5;
+  double min_disk_speedup = 3.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       threads = std::strtoull(argv[i] + 10, nullptr, 10);
@@ -93,6 +147,8 @@ int main(int argc, char** argv) {
       min_speedup = std::strtod(argv[i] + 14, nullptr);
     } else if (std::strncmp(argv[i], "--max-residency=", 16) == 0) {
       max_residency = std::strtod(argv[i] + 16, nullptr);
+    } else if (std::strncmp(argv[i], "--min-disk-speedup=", 19) == 0) {
+      min_disk_speedup = std::strtod(argv[i] + 19, nullptr);
     }
   }
   if (threads == 0) threads = 4;
@@ -184,7 +240,7 @@ int main(int argc, char** argv) {
   big_sc.seed = a.seed;
   big_sc.flows = exp::flow_dist_kind::fixed;
   big_sc.packet_budget = 2 * budget;  // the largest trace in this bench
-  const auto orig_big = exp::run_original(big_sc);
+  auto orig_big = exp::run_original(big_sc);  // sorted by the disk lane below
   core::replay_options ropt;
   ropt.mode = core::replay_mode::lstf;
   ropt.threshold_T = orig_big.threshold_T;
@@ -200,6 +256,84 @@ int main(int argc, char** argv) {
   const double residency_ratio =
       static_cast<double>(res_stream.peak_pool_packets) /
       static_cast<double>(res_upfront.peak_pool_packets);
+
+  // --- disk-replay lane: v1 text vs v2 binary -------------------------------
+  // Same workload trace written in both formats; sorted once at "record
+  // time" so the text file streams (the v2 file carries its own ingress
+  // index and would not need it).
+  net::sort_by_ingress(orig_big.trace);
+  const std::string v1_path = "bench_macro_disk.v1.trace";
+  const std::string v2_path = "bench_macro_disk.v2.trace";
+  net::save_trace(v1_path, orig_big.trace);
+  net::save_trace_v2(v2_path, orig_big.trace);
+  const std::uint64_t v1_bytes = file_bytes(v1_path);
+  const std::uint64_t v2_bytes = file_bytes(v2_path);
+
+  // Ingestion: drain each reader with no simulation attached — the cost the
+  // format itself imposes on replay, and the disk-speedup gate's metric
+  // (parse throughput is deterministic single-threaded work; end-to-end
+  // replay adds identical simulation cost to both lanes and dilutes the
+  // format difference).
+  ingest_stats text_ingest, bin_ingest;
+  {
+    net::trace_stream_reader reader(v1_path);
+    text_ingest = drain(reader);
+    net::trace_mmap_cursor cursor(v2_path);
+    bin_ingest = drain(cursor);
+  }
+  if (text_ingest.checksum != bin_ingest.checksum ||
+      text_ingest.records != bin_ingest.records) {
+    std::fprintf(stderr, "FAIL: text and binary readers disagree on the "
+                         "same trace's contents\n");
+    std::remove(v1_path.c_str());
+    std::remove(v2_path.c_str());
+    return 1;
+  }
+  const double text_ingest_pps =
+      static_cast<double>(text_ingest.records) / text_ingest.wall_seconds;
+  const double bin_ingest_pps =
+      static_cast<double>(bin_ingest.records) / bin_ingest.wall_seconds;
+  const double disk_speedup = bin_ingest_pps / text_ingest_pps;
+
+  // End-to-end disk replay across every mode: text serial, binary serial,
+  // binary sharded (each worker mmaps the same file; the kernel shares one
+  // read-only copy). All three must be byte-identical.
+  exp::disk_shard_task disk_task;
+  disk_task.topology = orig_big.topology;
+  disk_task.threshold_T = orig_big.threshold_T;
+  disk_task.modes = modes;
+  exp::shard_options disk_serial_opt;
+  disk_serial_opt.threads = 1;
+  disk_serial_opt.keep_outcomes = true;
+  exp::shard_options disk_sharded_opt;
+  disk_sharded_opt.threads = threads;
+  disk_sharded_opt.keep_outcomes = true;
+
+  disk_task.trace_path = v1_path;
+  const auto t_text = std::chrono::steady_clock::now();
+  const auto disk_text = exp::run_sharded_disk(disk_task, disk_serial_opt);
+  const double text_replay_wall = exp::wall_seconds_since(t_text);
+  disk_task.trace_path = v2_path;
+  const auto t_bin = std::chrono::steady_clock::now();
+  const auto disk_bin = exp::run_sharded_disk(disk_task, disk_serial_opt);
+  const double bin_replay_wall = exp::wall_seconds_since(t_bin);
+  const auto disk_bin_sharded =
+      exp::run_sharded_disk(disk_task, disk_sharded_opt);
+
+  bool disk_same = disk_text.size() == disk_bin.size() &&
+                   disk_text.size() == disk_bin_sharded.size();
+  for (std::size_t m = 0; disk_same && m < disk_text.size(); ++m) {
+    disk_same = same_result(disk_text[m].result, disk_bin[m].result) &&
+                same_result(disk_text[m].result, disk_bin_sharded[m].result);
+  }
+  const std::uint64_t disk_replayed =
+      orig_big.trace.packets.size() * modes.size();
+  const double text_replay_pps =
+      static_cast<double>(disk_replayed) / text_replay_wall;
+  const double bin_replay_pps =
+      static_cast<double>(disk_replayed) / bin_replay_wall;
+  std::remove(v1_path.c_str());
+  std::remove(v2_path.c_str());
 
   // --- report --------------------------------------------------------------
   std::printf("\n%-22s %6s %9s", "scenario", "util", "packets");
@@ -228,6 +362,22 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(res_stream.peak_pool_packets),
               static_cast<unsigned long long>(res_stream.peak_event_slots),
               residency_ratio);
+  std::printf("\ndisk lane (%llu-packet trace):\n",
+              static_cast<unsigned long long>(orig_big.trace.packets.size()));
+  std::printf("  v1 text   %9llu bytes  ingest %12.0f packets/sec "
+              "%8.1f MB/s   replay(4 modes) %12.0f packets/sec\n",
+              static_cast<unsigned long long>(v1_bytes), text_ingest_pps,
+              static_cast<double>(v1_bytes) / text_ingest.wall_seconds / 1e6,
+              text_replay_pps);
+  std::printf("  v2 binary %9llu bytes  ingest %12.0f packets/sec "
+              "%8.1f MB/s   replay(4 modes) %12.0f packets/sec\n",
+              static_cast<unsigned long long>(v2_bytes), bin_ingest_pps,
+              static_cast<double>(v2_bytes) / bin_ingest.wall_seconds / 1e6,
+              bin_replay_pps);
+  std::printf("  binary ingest speedup %.2fx, end-to-end replay speedup "
+              "%.2fx, results identical: %s\n",
+              disk_speedup, bin_replay_pps / text_replay_pps,
+              disk_same ? "yes" : "NO");
 
   // --- JSON trajectory -----------------------------------------------------
   const bool same = identical(serial, sharded);
@@ -251,6 +401,24 @@ int main(int argc, char** argv) {
         << ", \"upfront_peak_event_slots\": " << res_upfront.peak_event_slots
         << ", \"streaming_peak_event_slots\": " << res_stream.peak_event_slots
         << ", \"ratio\": " << residency_ratio << "},\n"
+        << "  \"disk\": {\"trace_packets\": " << orig_big.trace.packets.size()
+        << ", \"text_bytes\": " << v1_bytes
+        << ", \"binary_bytes\": " << v2_bytes
+        << ",\n    \"text_ingest\": {\"wall_seconds\": "
+        << text_ingest.wall_seconds
+        << ", \"packets_per_sec\": " << text_ingest_pps
+        << ", \"mb_per_sec\": "
+        << static_cast<double>(v1_bytes) / text_ingest.wall_seconds / 1e6
+        << "},\n    \"binary_ingest\": {\"wall_seconds\": "
+        << bin_ingest.wall_seconds
+        << ", \"packets_per_sec\": " << bin_ingest_pps
+        << ", \"mb_per_sec\": "
+        << static_cast<double>(v2_bytes) / bin_ingest.wall_seconds / 1e6
+        << "},\n    \"ingest_speedup\": " << disk_speedup
+        << ",\n    \"text_replay_packets_per_sec\": " << text_replay_pps
+        << ", \"binary_replay_packets_per_sec\": " << bin_replay_pps
+        << ", \"replay_speedup\": " << bin_replay_pps / text_replay_pps
+        << ", \"identical\": " << (disk_same ? "true" : "false") << "},\n"
         << "  \"scenarios\": [\n";
     for (std::size_t i = 0; i < serial.size(); ++i) {
       const auto& r = serial[i];
@@ -291,6 +459,19 @@ int main(int argc, char** argv) {
                  max_residency,
                  static_cast<unsigned long long>(
                      res_upfront.peak_pool_packets));
+    ++failures;
+  }
+  if (!disk_same) {
+    std::fprintf(stderr,
+                 "FAIL: binary disk replay differs from the text path "
+                 "(format round-trip or cursor bug)\n");
+    ++failures;
+  }
+  if (disk_speedup < min_disk_speedup) {
+    std::fprintf(stderr,
+                 "FAIL: binary replay ingestion %.2fx text reader < %.2fx "
+                 "bar\n",
+                 disk_speedup, min_disk_speedup);
     ++failures;
   }
   // Skip only on a *known* single-core box; hardware_concurrency() == 0

@@ -391,10 +391,12 @@ int main(int argc, char** argv) {
   // The disciplines engineered for the zero-allocation guarantee: pooled
   // packets over freelist-recycled queue storage. pfabric joined the gate
   // when its per-flow starvation index was flattened onto slab + freelist
-  // storage; drr still keeps per-flow node state and is reported, not gated.
+  // storage; drr followed with the same pattern (qnode slab + intrusive
+  // active-flow ring, flow entries persisting across quiet periods).
   const char* zero_alloc_names[] = {
       "fifo", "lifo",    "priority", "sjf",           "fifo_plus",
       "lstf", "fq",      "random",   "virtual_clock", "pfabric",
+      "drr",
   };
 
   for (const std::size_t depth : depths) {

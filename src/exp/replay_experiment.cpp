@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "net/network.h"
+#include "net/trace_io.h"
 #include "sim/simulator.h"
 #include "traffic/size_dist.h"
 #include "traffic/udp_app.h"
@@ -59,6 +60,23 @@ core::replay_result run_replay(const original_run& orig,
   return core::replay_trace(
       orig.trace,
       [&topology](net::network& n) { topo::populate(topology, n); }, opt);
+}
+
+core::replay_result run_replay_file(const std::string& trace_path,
+                                    const topo::topology& topology,
+                                    sim::time_ps threshold_T,
+                                    core::replay_mode mode,
+                                    bool keep_outcomes,
+                                    core::injection_mode injection) {
+  core::replay_options opt;
+  opt.mode = mode;
+  opt.threshold_T = threshold_T;
+  opt.keep_outcomes = keep_outcomes;
+  opt.injection = injection;
+  const auto cur = net::open_trace_cursor(trace_path);
+  return core::replay_trace(
+      *cur, [&topology](net::network& n) { topo::populate(topology, n); },
+      opt);
 }
 
 core::replay_result table1_row(const scenario& sc) {

@@ -29,6 +29,17 @@ struct original_run {
     bool keep_outcomes = false,
     core::injection_mode injection = core::injection_mode::streaming);
 
+// Replays a trace straight from disk over `topology`: the file's format is
+// sniffed (net::open_trace_cursor), so a v2 binary trace replays through a
+// zero-copy mmap cursor and a v1 text trace through the streaming parser.
+// A v1 file must be ingress-sorted (net::sort_by_ingress before saving);
+// v2 carries its own ingress index and needs no preparation.
+[[nodiscard]] core::replay_result run_replay_file(
+    const std::string& trace_path, const topo::topology& topology,
+    sim::time_ps threshold_T, core::replay_mode mode,
+    bool keep_outcomes = false,
+    core::injection_mode injection = core::injection_mode::streaming);
+
 // Convenience: original + LSTF replay in one call (a Table 1 row).
 [[nodiscard]] core::replay_result table1_row(const scenario& sc);
 

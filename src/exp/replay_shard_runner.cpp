@@ -81,4 +81,19 @@ std::vector<shard_result> run_sharded(const std::vector<shard_task>& tasks,
   return results;
 }
 
+std::vector<shard_replay> run_sharded_disk(const disk_shard_task& task,
+                                           const shard_options& opt) {
+  std::vector<shard_replay> results(task.modes.size());
+  parallel_for_jobs(task.modes.size(), opt.threads, [&](std::size_t m) {
+    const auto t0 = std::chrono::steady_clock::now();
+    shard_replay& out = results[m];
+    out.mode = task.modes[m];
+    out.result =
+        run_replay_file(task.trace_path, task.topology, task.threshold_T,
+                        out.mode, opt.keep_outcomes, opt.injection);
+    out.wall_seconds = wall_seconds_since(t0);
+  });
+  return results;
+}
+
 }  // namespace ups::exp

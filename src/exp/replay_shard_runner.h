@@ -62,6 +62,23 @@ struct shard_options {
 [[nodiscard]] std::vector<shard_result> run_sharded(
     const std::vector<shard_task>& tasks, const shard_options& opt = {});
 
+// One on-disk trace fanned across candidate replay modes. Every worker
+// opens its own cursor over the same path; for a v2 binary trace that is a
+// read-only shared mapping, so N workers replaying the trace touch one
+// physical copy and zero parse work — the disk analogue of run_sharded's
+// stage 2.
+struct disk_shard_task {
+  std::string trace_path;
+  topo::topology topology;
+  sim::time_ps threshold_T = 0;
+  std::vector<core::replay_mode> modes;
+};
+
+// Replays the task's modes in parallel; results come back in mode order,
+// byte-identical to a serial loop over run_replay_file.
+[[nodiscard]] std::vector<shard_replay> run_sharded_disk(
+    const disk_shard_task& task, const shard_options& opt = {});
+
 // The underlying pool primitive, exposed for other experiment drivers:
 // executes body(0..jobs-1), work-stealing via an atomic cursor, on
 // min(threads, jobs) threads (inline when that is <= 1).

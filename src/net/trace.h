@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include "net/network.h"
@@ -13,6 +14,15 @@
 #include "sim/time.h"
 
 namespace ups::net {
+
+// Thrown by every trace reader — text and binary — on malformed input: bad
+// magic, unsupported version, truncation (including mid-record EOF), a
+// declared record count that disagrees with the records actually present,
+// or a footer index out of ingress order. Derives from std::runtime_error
+// so callers that only care about "the trace is unreadable" keep working.
+struct trace_format_error : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 struct packet_record {
   std::uint64_t id = 0;
@@ -38,6 +48,20 @@ class trace_cursor {
   virtual ~trace_cursor() = default;
   // Next record, or nullptr when exhausted.
   [[nodiscard]] virtual const packet_record* next() = 0;
+  // Batched pull: appends to `out` a run of records sharing the next
+  // ingress instant and returns how many were appended (0 at end). The
+  // replay feeder injects one run per wakeup instead of paying a virtual
+  // call + rearm per record. Appended pointers stay valid until the next
+  // cursor call, like next(). The base implementation degrades to runs of
+  // one (correct for any cursor: the feeder keeps pulling while the next
+  // run carries the same instant); concrete cursors override with true
+  // batching.
+  virtual std::size_t next_run(std::vector<const packet_record*>& out) {
+    const packet_record* r = next();
+    if (r == nullptr) return 0;
+    out.push_back(r);
+    return 1;
+  }
   // Total records when known up front, 0 otherwise (used only to reserve).
   [[nodiscard]] virtual std::size_t size_hint() const noexcept { return 0; }
 };
@@ -52,6 +76,7 @@ class trace_ingress_cursor final : public trace_cursor {
   explicit trace_ingress_cursor(const trace& t);
 
   [[nodiscard]] const packet_record* next() override;
+  std::size_t next_run(std::vector<const packet_record*>& out) override;
   [[nodiscard]] std::size_t size_hint() const noexcept override {
     return order_.size();
   }

@@ -1,0 +1,445 @@
+#include "net/trace_binary.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define UPS_TRACE_HAVE_MMAP 1
+#endif
+
+namespace ups::net {
+
+namespace {
+
+static_assert(std::endian::native == std::endian::little,
+              "v2 trace I/O assumes a little-endian host; add byte-swapping "
+              "load/store helpers before porting to a big-endian target");
+
+template <typename T>
+[[nodiscard]] T load_le(const std::uint8_t* p) noexcept {
+  T v;
+  std::memcpy(&v, p, sizeof(T));  // unaligned-safe; LE host asserted above
+  return v;
+}
+
+template <typename T>
+void store_le(std::uint8_t* p, T v) noexcept {
+  std::memcpy(p, &v, sizeof(T));
+}
+
+template <typename T>
+void append_le(std::vector<std::uint8_t>& buf, T v) {
+  const std::size_t n = buf.size();
+  buf.resize(n + sizeof(T));
+  store_le(buf.data() + n, v);
+}
+
+[[nodiscard]] std::uint32_t payload_len_of(const packet_record& r) {
+  return kTraceV2FixedPayloadBytes +
+         4 * static_cast<std::uint32_t>(r.path.size()) +
+         8 * static_cast<std::uint32_t>(r.hop_departs.size());
+}
+
+// Serializes one record (length prefix + payload) into `buf`, reusing its
+// capacity. Single encoder shared by the streaming writer so the layout
+// lives in one place, mirrored by decode_payload below.
+void encode_record(std::vector<std::uint8_t>& buf, const packet_record& r) {
+  buf.clear();
+  append_le<std::uint32_t>(buf, payload_len_of(r));
+  append_le<std::uint64_t>(buf, r.id);
+  append_le<std::uint64_t>(buf, r.flow_id);
+  append_le<std::uint32_t>(buf, r.seq_in_flow);
+  append_le<std::uint32_t>(buf, r.size_bytes);
+  append_le<std::int32_t>(buf, r.src_host);
+  append_le<std::int32_t>(buf, r.dst_host);
+  append_le<std::int64_t>(buf, r.ingress_time);
+  append_le<std::int64_t>(buf, r.egress_time);
+  append_le<std::int64_t>(buf, r.queueing_delay);
+  append_le<std::uint64_t>(buf, r.flow_size_bytes);
+  append_le<std::uint32_t>(buf, static_cast<std::uint32_t>(r.path.size()));
+  append_le<std::uint32_t>(buf,
+                           static_cast<std::uint32_t>(r.hop_departs.size()));
+  for (const node_id n : r.path) append_le<std::int32_t>(buf, n);
+  for (const sim::time_ps d : r.hop_departs) append_le<std::int64_t>(buf, d);
+}
+
+// Decodes one payload of `len` bytes into `r`, reusing its vector capacity.
+// `len` has already been bounds-checked against the file; this validates
+// internal consistency (array lengths vs payload length).
+void decode_payload(const std::uint8_t* p, std::uint32_t len,
+                    packet_record& r) {
+  if (len < kTraceV2FixedPayloadBytes) {
+    throw trace_format_error("trace v2: record payload shorter than the "
+                             "fixed prefix");
+  }
+  r.id = load_le<std::uint64_t>(p);
+  r.flow_id = load_le<std::uint64_t>(p + 8);
+  r.seq_in_flow = load_le<std::uint32_t>(p + 16);
+  r.size_bytes = load_le<std::uint32_t>(p + 20);
+  r.src_host = load_le<std::int32_t>(p + 24);
+  r.dst_host = load_le<std::int32_t>(p + 28);
+  r.ingress_time = load_le<std::int64_t>(p + 32);
+  r.egress_time = load_le<std::int64_t>(p + 40);
+  r.queueing_delay = load_le<std::int64_t>(p + 48);
+  r.flow_size_bytes = load_le<std::uint64_t>(p + 56);
+  const std::uint32_t npath = load_le<std::uint32_t>(p + 64);
+  const std::uint32_t ndeparts = load_le<std::uint32_t>(p + 68);
+  // Overflow-safe: all operands fit in 64 bits by construction.
+  const std::uint64_t want = static_cast<std::uint64_t>(
+      kTraceV2FixedPayloadBytes) + 4ull * npath + 8ull * ndeparts;
+  if (want != len) {
+    throw trace_format_error(
+        "trace v2: record array lengths disagree with its length prefix");
+  }
+  const std::uint8_t* q = p + kTraceV2FixedPayloadBytes;
+  r.path.resize(npath);
+  for (std::uint32_t i = 0; i < npath; ++i) {
+    r.path[i] = load_le<std::int32_t>(q + 4ull * i);
+  }
+  q += 4ull * npath;
+  r.hop_departs.resize(ndeparts);
+  for (std::uint32_t i = 0; i < ndeparts; ++i) {
+    r.hop_departs[i] = load_le<std::int64_t>(q + 8ull * i);
+  }
+}
+
+struct header_fields {
+  std::uint64_t record_count = 0;
+  std::uint64_t index_offset = 0;
+};
+
+// Validates magic/version/size invariants of a complete in-memory image
+// (shared by the mmap cursor and the batch loader).
+header_fields check_header(const std::uint8_t* data, std::size_t size) {
+  if (size < kTraceV2HeaderBytes) {
+    throw trace_format_error("trace v2: file shorter than the header");
+  }
+  if (std::memcmp(data, kTraceV2Magic, sizeof(kTraceV2Magic)) != 0) {
+    throw trace_format_error("trace v2: bad magic");
+  }
+  const std::uint32_t version = load_le<std::uint32_t>(data + 8);
+  if (version != kTraceV2Version) {
+    throw trace_format_error("trace v2: unsupported version " +
+                             std::to_string(version));
+  }
+  const std::uint32_t header_bytes = load_le<std::uint32_t>(data + 12);
+  if (header_bytes != kTraceV2HeaderBytes) {
+    throw trace_format_error("trace v2: unexpected header size");
+  }
+  header_fields h;
+  h.record_count = load_le<std::uint64_t>(data + 16);
+  h.index_offset = load_le<std::uint64_t>(data + 24);
+  if (h.index_offset < kTraceV2HeaderBytes || h.index_offset > size) {
+    throw trace_format_error("trace v2: index offset out of bounds");
+  }
+  // Exact-size check doubles as the declared-count-vs-contents gate: a
+  // truncated index or trailing garbage both fail here.
+  if (h.record_count > (size - h.index_offset) / 8 ||
+      h.index_offset + 8 * h.record_count != size) {
+    throw trace_format_error(
+        "trace v2: file size disagrees with declared record count");
+  }
+  return h;
+}
+
+}  // namespace
+
+// --- writer ------------------------------------------------------------------
+
+trace_binary_writer::trace_binary_writer(std::ostream& os) : os_(&os) {
+  // Placeholder header; finish() seeks back and patches the counts.
+  std::uint8_t header[kTraceV2HeaderBytes] = {};
+  std::memcpy(header, kTraceV2Magic, sizeof(kTraceV2Magic));
+  store_le<std::uint32_t>(header + 8, kTraceV2Version);
+  store_le<std::uint32_t>(header + 12, kTraceV2HeaderBytes);
+  os_->write(reinterpret_cast<const char*>(header), sizeof(header));
+  if (!*os_) throw trace_format_error("trace v2: header write failed");
+}
+
+void trace_binary_writer::append(const packet_record& r) {
+  if (finished_) {
+    throw std::logic_error("trace_binary_writer: append after finish");
+  }
+  encode_record(buf_, r);
+  os_->write(reinterpret_cast<const char*>(buf_.data()),
+             static_cast<std::streamsize>(buf_.size()));
+  if (!*os_) throw trace_format_error("trace v2: record write failed");
+  index_.emplace_back(r.ingress_time, offset_);
+  offset_ += buf_.size();
+}
+
+void trace_binary_writer::finish() {
+  if (finished_) {
+    throw std::logic_error("trace_binary_writer: finish called twice");
+  }
+  finished_ = true;
+  // (ingress, offset) pairs: offsets are strictly increasing, so plain sort
+  // is deterministic and keeps file order among equal ingress instants —
+  // the same tie-break trace_ingress_cursor's stable_sort produces.
+  std::sort(index_.begin(), index_.end());
+  buf_.clear();
+  for (const auto& [ingress, off] : index_) {
+    append_le<std::uint64_t>(buf_, off);
+  }
+  os_->write(reinterpret_cast<const char*>(buf_.data()),
+             static_cast<std::streamsize>(buf_.size()));
+  os_->seekp(16);
+  buf_.clear();
+  append_le<std::uint64_t>(buf_, index_.size());
+  append_le<std::uint64_t>(buf_, offset_);  // == index offset after records
+  os_->write(reinterpret_cast<const char*>(buf_.data()), 16);
+  os_->seekp(0, std::ios::end);
+  os_->flush();
+  if (!*os_) throw trace_format_error("trace v2: footer write failed");
+}
+
+void write_trace_v2(std::ostream& os, const trace& t) {
+  trace_binary_writer w(os);
+  for (const auto& r : t.packets) w.append(r);
+  w.finish();
+}
+
+void save_trace_v2(const std::string& path, const trace& t) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("trace: cannot open " + path);
+  write_trace_v2(os, t);
+}
+
+bool is_trace_v2_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("trace: cannot open " + path);
+  char magic[sizeof(kTraceV2Magic)] = {};
+  is.read(magic, sizeof(magic));
+  return is.gcount() == sizeof(magic) &&
+         std::memcmp(magic, kTraceV2Magic, sizeof(magic)) == 0;
+}
+
+// --- batch loader (file order) ----------------------------------------------
+
+trace read_trace_v2(const std::uint8_t* data, std::size_t size) {
+  const header_fields h = check_header(data, size);
+  trace t;
+  t.packets.reserve(h.record_count);
+  std::uint64_t off = kTraceV2HeaderBytes;
+  for (std::uint64_t i = 0; i < h.record_count; ++i) {
+    if (off + 4 > h.index_offset) {
+      throw trace_format_error("trace v2: record runs past the index "
+                               "(mid-record EOF)");
+    }
+    const std::uint32_t len = load_le<std::uint32_t>(data + off);
+    if (len > h.index_offset - off - 4) {
+      throw trace_format_error("trace v2: record runs past the index "
+                               "(mid-record EOF)");
+    }
+    packet_record r;
+    decode_payload(data + off + 4, len, r);
+    t.packets.push_back(std::move(r));
+    off += 4 + len;
+  }
+  if (off != h.index_offset) {
+    throw trace_format_error(
+        "trace v2: record region holds more than the declared count");
+  }
+  return t;
+}
+
+namespace {
+
+// One sized read into a pre-sized buffer — istreambuf_iterator would pull
+// the file a character at a time through virtual calls, hopeless at the
+// GB/s this format targets.
+std::vector<std::uint8_t> slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary | std::ios::ate);
+  if (!is) throw std::runtime_error("trace: cannot open " + path);
+  const std::streamoff size = is.tellg();
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  is.seekg(0);
+  is.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!is) throw std::runtime_error("trace: read failed for " + path);
+  return bytes;
+}
+
+}  // namespace
+
+trace load_trace_v2(const std::string& path) {
+  const auto bytes = slurp(path);
+  return read_trace_v2(bytes.data(), bytes.size());
+}
+
+// --- record_view -------------------------------------------------------------
+
+std::uint64_t record_view::id() const noexcept {
+  return load_le<std::uint64_t>(p_);
+}
+std::uint64_t record_view::flow_id() const noexcept {
+  return load_le<std::uint64_t>(p_ + 8);
+}
+std::uint32_t record_view::seq_in_flow() const noexcept {
+  return load_le<std::uint32_t>(p_ + 16);
+}
+std::uint32_t record_view::size_bytes() const noexcept {
+  return load_le<std::uint32_t>(p_ + 20);
+}
+node_id record_view::src_host() const noexcept {
+  return load_le<std::int32_t>(p_ + 24);
+}
+node_id record_view::dst_host() const noexcept {
+  return load_le<std::int32_t>(p_ + 28);
+}
+sim::time_ps record_view::ingress_time() const noexcept {
+  return load_le<std::int64_t>(p_ + 32);
+}
+sim::time_ps record_view::egress_time() const noexcept {
+  return load_le<std::int64_t>(p_ + 40);
+}
+sim::time_ps record_view::queueing_delay() const noexcept {
+  return load_le<std::int64_t>(p_ + 48);
+}
+std::uint64_t record_view::flow_size_bytes() const noexcept {
+  return load_le<std::uint64_t>(p_ + 56);
+}
+std::uint32_t record_view::path_len() const noexcept {
+  return load_le<std::uint32_t>(p_ + 64);
+}
+std::uint32_t record_view::departs_len() const noexcept {
+  return load_le<std::uint32_t>(p_ + 68);
+}
+
+// --- mmap cursor -------------------------------------------------------------
+
+trace_mmap_cursor::trace_mmap_cursor(const std::string& path) {
+#if UPS_TRACE_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw std::runtime_error("trace: cannot open " + path);
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw std::runtime_error("trace: cannot stat " + path);
+  }
+  const std::size_t size = static_cast<std::size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    throw trace_format_error("trace v2: file shorter than the header");
+  }
+  void* map = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping keeps the file alive
+  if (map == MAP_FAILED) {
+    throw std::runtime_error("trace: mmap failed for " + path);
+  }
+  mapping_ = map;
+  mapping_size_ = size;
+  data_ = static_cast<const std::uint8_t*>(map);
+  size_ = size;
+#else
+  // No mmap on this platform: fall back to reading the file into an owned
+  // buffer (still one parse-free image; just not shared across processes).
+  owned_bytes_ = slurp(path);
+  data_ = owned_bytes_.data();
+  size_ = owned_bytes_.size();
+#endif
+  validate_header();
+}
+
+trace_mmap_cursor::trace_mmap_cursor(const std::uint8_t* data,
+                                     std::size_t size)
+    : data_(data), size_(size) {
+  validate_header();
+}
+
+trace_mmap_cursor::~trace_mmap_cursor() {
+#if UPS_TRACE_HAVE_MMAP
+  if (mapping_ != nullptr) ::munmap(mapping_, mapping_size_);
+#endif
+}
+
+void trace_mmap_cursor::validate_header() {
+  const header_fields h = check_header(data_, size_);
+  count_ = h.record_count;
+  index_offset_ = h.index_offset;
+}
+
+std::uint64_t trace_mmap_cursor::record_offset(std::uint64_t i) const {
+  const std::uint64_t off =
+      load_le<std::uint64_t>(data_ + index_offset_ + 8 * i);
+  // Subtraction, not `off + 4 > index_offset_`: a near-UINT64_MAX entry
+  // would wrap the addition and sail through to an out-of-bounds read.
+  // index_offset_ >= kTraceV2HeaderBytes, so the subtraction cannot wrap.
+  if (off < kTraceV2HeaderBytes || off > index_offset_ - 4) {
+    throw trace_format_error("trace v2: index entry out of bounds");
+  }
+  return off;
+}
+
+const std::uint8_t* trace_mmap_cursor::payload_at(std::uint64_t off,
+                                                  std::uint32_t& len) const {
+  len = load_le<std::uint32_t>(data_ + off);
+  if (len > index_offset_ - off - 4) {
+    throw trace_format_error(
+        "trace v2: record runs past the index (mid-record EOF)");
+  }
+  if (len < kTraceV2FixedPayloadBytes) {
+    throw trace_format_error(
+        "trace v2: record payload shorter than the fixed prefix");
+  }
+  return data_ + off + 4;
+}
+
+record_view trace_mmap_cursor::view_at(std::uint64_t i) const {
+  if (i >= count_) {
+    throw std::out_of_range("trace v2: record index out of range");
+  }
+  std::uint32_t len = 0;
+  return record_view(payload_at(record_offset(i), len));
+}
+
+void trace_mmap_cursor::decode_into(std::uint64_t i, packet_record& r) {
+  std::uint32_t len = 0;
+  const std::uint8_t* payload = payload_at(record_offset(i), len);
+  decode_payload(payload, len, r);
+  // Enforce the footer invariant as we walk it: the index — not the record
+  // region — promises ingress order, so a mutated index fails loudly here
+  // instead of desequencing the replay.
+  if (r.ingress_time < last_ingress_) {
+    throw trace_format_error("trace v2: ingress index out of order");
+  }
+  last_ingress_ = r.ingress_time;
+}
+
+const packet_record* trace_mmap_cursor::next() {
+  if (pos_ >= count_) return nullptr;
+  if (slots_.empty()) slots_.emplace_back();
+  decode_into(pos_++, slots_[0]);
+  return &slots_[0];
+}
+
+std::size_t trace_mmap_cursor::next_run(
+    std::vector<const packet_record*>& out) {
+  if (pos_ >= count_) return 0;
+  std::size_t n = 0;
+  sim::time_ps run_ingress = 0;
+  for (;;) {
+    if (n == slots_.size()) slots_.emplace_back();
+    decode_into(pos_++, slots_[n]);
+    if (n == 0) run_ingress = slots_[0].ingress_time;
+    ++n;
+    if (pos_ >= count_) break;
+    // Peek the next record's ingress straight off the mapping: same-instant
+    // run detection costs one unaligned load, not a decode.
+    std::uint32_t len = 0;
+    const std::uint8_t* payload = payload_at(record_offset(pos_), len);
+    if (record_view(payload).ingress_time() != run_ingress) break;
+  }
+  // Pointers are published only after the run is fully decoded: growing
+  // slots_ mid-run may reallocate and would dangle anything pushed earlier.
+  for (std::size_t i = 0; i < n; ++i) out.push_back(&slots_[i]);
+  return n;
+}
+
+}  // namespace ups::net

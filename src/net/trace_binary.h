@@ -1,0 +1,189 @@
+// Binary schedule-trace format: `ups-trace v2b`.
+//
+// The text format (trace_io.h) is the diffable interchange representation;
+// this is the replay representation. Text parsing dominates disk replay —
+// every field costs an istream round-trip — while a fixed-layout record
+// costs a handful of unaligned loads, so a v2 file mmaps and replays
+// I/O-bound, and multiple shard workers can walk the same read-only mapping
+// without a per-worker copy of the trace.
+//
+// On-disk layout (all integers little-endian, no padding):
+//
+//   header   32 bytes
+//     0   8  magic            "UPSTRCv2"
+//     8   4  version          2 (kTraceV2Version)
+//     12  4  header_bytes     32
+//     16  8  record_count
+//     24  8  index_offset     first byte of the footer index; records
+//                             occupy [32, index_offset)
+//   records  back to back from byte 32, each:
+//     u32  payload_len        bytes after this prefix;
+//                             == 72 + 4*path_len + 8*departs_len
+//     u64  id        u64 flow_id      u32 seq_in_flow   u32 size_bytes
+//     i32  src_host  i32 dst_host
+//     i64  ingress_time        i64 egress_time   i64 queueing_delay
+//     u64  flow_size_bytes
+//     u32  path_len  u32 departs_len
+//     i32  path[path_len]      i64 hop_departs[departs_len]
+//   footer index at index_offset
+//     u64  offsets[record_count]   byte offset of each record's length
+//                                  prefix, sorted by (ingress_time, offset)
+//
+// File size must equal index_offset + 8*record_count exactly. The footer
+// index is what lets replay walk a recorder-ordered (egress-time) file in
+// ingress order with zero re-sorting; readers verify the order and throw
+// trace_format_error on violation rather than misreplaying.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/trace.h"
+
+namespace ups::net {
+
+inline constexpr char kTraceV2Magic[8] = {'U', 'P', 'S', 'T',
+                                          'R', 'C', 'v', '2'};
+inline constexpr std::uint32_t kTraceV2Version = 2;
+inline constexpr std::uint32_t kTraceV2HeaderBytes = 32;
+// Fixed (non-array) payload bytes of one record.
+inline constexpr std::uint32_t kTraceV2FixedPayloadBytes = 72;
+
+// Streaming writer: append records one at a time (the converter and the
+// recorder-side pipeline never hold the whole trace), then finish() writes
+// the footer ingress index and patches the header counts. The stream must
+// be seekable (a file or a stringstream) and outlive the writer; the only
+// per-record state retained is the 16-byte (ingress, offset) index entry.
+class trace_binary_writer {
+ public:
+  explicit trace_binary_writer(std::ostream& os);
+  trace_binary_writer(const trace_binary_writer&) = delete;
+  trace_binary_writer& operator=(const trace_binary_writer&) = delete;
+
+  void append(const packet_record& r);
+  // Writes the footer index + final header. Must be called exactly once;
+  // appending afterwards is a logic error.
+  void finish();
+
+  [[nodiscard]] std::uint64_t written() const noexcept {
+    return index_.size();
+  }
+
+ private:
+  std::ostream* os_;
+  std::uint64_t offset_ = kTraceV2HeaderBytes;  // next record's file offset
+  std::vector<std::pair<sim::time_ps, std::uint64_t>> index_;
+  std::vector<std::uint8_t> buf_;  // reused record serialization scratch
+  bool finished_ = false;
+};
+
+void write_trace_v2(std::ostream& os, const trace& t);
+void save_trace_v2(const std::string& path, const trace& t);
+
+// True when the file starts with the v2 magic; false for anything else,
+// including files too short to hold one (they cannot be v2). Throws only
+// when the file cannot be opened. The single sniffing primitive behind
+// open_trace_cursor and tracec's format dispatch.
+[[nodiscard]] bool is_trace_v2_file(const std::string& path);
+
+// Decodes a whole v2 file into memory in *file* order (the order records
+// were appended, i.e. what the recorder produced) — the converter's path
+// back to text. Replay should use trace_mmap_cursor instead.
+[[nodiscard]] trace load_trace_v2(const std::string& path);
+[[nodiscard]] trace read_trace_v2(const std::uint8_t* data, std::size_t size);
+
+// Zero-copy view of one encoded record's fixed prefix: field accessors are
+// unaligned little-endian loads straight off the mapping, no packet_record
+// is materialized. Used wherever only a few fields are needed (the cursor's
+// ingress peek, `tracec inspect`).
+class record_view {
+ public:
+  // `payload` points at the first byte after the length prefix and must
+  // cover at least kTraceV2FixedPayloadBytes (the cursor validates).
+  explicit record_view(const std::uint8_t* payload) noexcept : p_(payload) {}
+
+  [[nodiscard]] std::uint64_t id() const noexcept;
+  [[nodiscard]] std::uint64_t flow_id() const noexcept;
+  [[nodiscard]] std::uint32_t seq_in_flow() const noexcept;
+  [[nodiscard]] std::uint32_t size_bytes() const noexcept;
+  [[nodiscard]] node_id src_host() const noexcept;
+  [[nodiscard]] node_id dst_host() const noexcept;
+  [[nodiscard]] sim::time_ps ingress_time() const noexcept;
+  [[nodiscard]] sim::time_ps egress_time() const noexcept;
+  [[nodiscard]] sim::time_ps queueing_delay() const noexcept;
+  [[nodiscard]] std::uint64_t flow_size_bytes() const noexcept;
+  [[nodiscard]] std::uint32_t path_len() const noexcept;
+  [[nodiscard]] std::uint32_t departs_len() const noexcept;
+
+ private:
+  const std::uint8_t* p_;
+};
+
+// Ingress-ordered trace_cursor over a v2 file: mmaps the file read-only and
+// walks the footer index, so replay starts without parsing, sorting, or
+// copying the trace. Records are decoded into reused packet_record slots
+// (vector capacities persist across records — zero steady-state
+// allocation); the same-instant run length is discovered by peeking the
+// ingress field straight off the mapping via record_view, so next_run()
+// decodes exactly the records it hands out.
+//
+// Header and index bounds are validated at construction; per-record bounds
+// and the index's ingress order are validated as the cursor advances. Every
+// violation throws trace_format_error — a truncated or bit-flipped file can
+// fail loudly but never reads out of bounds.
+class trace_mmap_cursor final : public trace_cursor {
+ public:
+  // Maps the file (read-only, shared pages: N workers replaying the same
+  // trace touch one physical copy).
+  explicit trace_mmap_cursor(const std::string& path);
+  // Borrows an external buffer (tests over mutated images, callers that
+  // already hold a mapping). The buffer must outlive the cursor.
+  trace_mmap_cursor(const std::uint8_t* data, std::size_t size);
+  ~trace_mmap_cursor() override;
+  trace_mmap_cursor(const trace_mmap_cursor&) = delete;
+  trace_mmap_cursor& operator=(const trace_mmap_cursor&) = delete;
+
+  [[nodiscard]] const packet_record* next() override;
+  std::size_t next_run(std::vector<const packet_record*>& out) override;
+  [[nodiscard]] std::size_t size_hint() const noexcept override {
+    return static_cast<std::size_t>(count_);
+  }
+  // Records handed out so far.
+  [[nodiscard]] std::size_t read() const noexcept {
+    return static_cast<std::size_t>(pos_);
+  }
+  // Fixed-prefix view of the record at index position `i` (ingress order),
+  // bounds-checked. Exposed for inspection tools.
+  [[nodiscard]] record_view view_at(std::uint64_t i) const;
+
+  [[nodiscard]] const std::uint8_t* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t file_size() const noexcept { return size_; }
+
+ private:
+  void validate_header();
+  // Byte offset of the record at index position `i` (throws on a
+  // out-of-bounds or misordered index entry).
+  [[nodiscard]] std::uint64_t record_offset(std::uint64_t i) const;
+  // Payload pointer + length check for the record at file offset `off`.
+  [[nodiscard]] const std::uint8_t* payload_at(std::uint64_t off,
+                                               std::uint32_t& len) const;
+  void decode_into(std::uint64_t i, packet_record& r);
+
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  void* mapping_ = nullptr;  // non-null when this cursor owns an mmap
+  std::size_t mapping_size_ = 0;
+  std::vector<std::uint8_t> owned_bytes_;  // no-mmap fallback storage
+
+  std::uint64_t count_ = 0;
+  std::uint64_t index_offset_ = 0;
+  std::uint64_t pos_ = 0;           // next index position to hand out
+  sim::time_ps last_ingress_ = -1;  // index-order watermark
+  std::vector<packet_record> slots_;  // reused decode targets for one run
+};
+
+}  // namespace ups::net

@@ -1,8 +1,13 @@
 #include "net/trace_io.h"
 
+#include <cstring>
 #include <fstream>
+#include <istream>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
+
+#include "net/trace_binary.h"
 
 namespace ups::net {
 
@@ -23,14 +28,26 @@ void read_record(std::istream& is, packet_record& r) {
   is >> departs;
   r.hop_departs.resize(departs);
   for (auto& d : r.hop_departs) is >> d;
-  if (!is) throw std::runtime_error("trace: truncated record");
+  if (!is) throw trace_format_error("trace: truncated record");
 }
 
 void read_magic(std::istream& is) {
   std::string magic;
   std::getline(is, magic);
   if (magic != kMagic) {
-    throw std::runtime_error("trace: bad magic line '" + magic + "'");
+    throw trace_format_error("trace: bad magic line '" + magic + "'");
+  }
+}
+
+// The declared-count integrity check shared by both text readers: after the
+// declared records, nothing but whitespace may remain. A file holding more
+// records than its header promises replays differently depending on which
+// reader consumed it — that is corruption, not slack to ignore.
+void expect_clean_end(std::istream& is) {
+  is >> std::ws;
+  if (is.peek() != std::istream::traits_type::eof()) {
+    throw trace_format_error(
+        "trace: file holds more records than the declared count");
   }
 }
 
@@ -61,6 +78,7 @@ trace read_trace(std::istream& is) {
     read_record(is, r);
     t.packets.push_back(std::move(r));
   }
+  expect_clean_end(is);
   return t;
 }
 
@@ -77,14 +95,50 @@ trace_stream_reader::trace_stream_reader(const std::string& path)
 void trace_stream_reader::read_header() {
   read_magic(*is_);
   *is_ >> declared_;
-  if (!*is_) throw std::runtime_error("trace: truncated header");
+  if (!*is_) throw trace_format_error("trace: truncated header");
+}
+
+bool trace_stream_reader::fill_lookahead() {
+  if (has_lookahead_) return true;
+  if (parsed_ >= declared_) {
+    if (!checked_trailing_) {
+      checked_trailing_ = true;
+      expect_clean_end(*is_);
+    }
+    return false;
+  }
+  read_record(*is_, lookahead_);
+  ++parsed_;
+  has_lookahead_ = true;
+  return true;
 }
 
 const packet_record* trace_stream_reader::next() {
-  if (read_ >= declared_) return nullptr;
-  read_record(*is_, rec_);
+  if (!fill_lookahead()) return nullptr;
+  // Swap rather than copy: both records keep their warmed vector capacity,
+  // so the steady-state parse loop never allocates.
+  std::swap(rec_, lookahead_);
+  has_lookahead_ = false;
   ++read_;
   return &rec_;
+}
+
+std::size_t trace_stream_reader::next_run(
+    std::vector<const packet_record*>& out) {
+  if (!fill_lookahead()) return 0;
+  const sim::time_ps t = lookahead_.ingress_time;
+  std::size_t n = 0;
+  do {
+    if (n == slots_.size()) slots_.emplace_back();
+    std::swap(slots_[n], lookahead_);
+    has_lookahead_ = false;
+    ++read_;
+    ++n;
+  } while (fill_lookahead() && lookahead_.ingress_time == t);
+  // Publish pointers only after the run is complete: growing slots_ above
+  // may reallocate and would dangle anything pushed earlier.
+  for (std::size_t i = 0; i < n; ++i) out.push_back(&slots_[i]);
+  return n;
 }
 
 void save_trace(const std::string& path, const trace& t) {
@@ -97,6 +151,15 @@ trace load_trace(const std::string& path) {
   std::ifstream is(path);
   if (!is) throw std::runtime_error("trace: cannot open " + path);
   return read_trace(is);
+}
+
+std::unique_ptr<trace_cursor> open_trace_cursor(const std::string& path) {
+  if (is_trace_v2_file(path)) {
+    return std::make_unique<trace_mmap_cursor>(path);
+  }
+  // Not v2: hand it to the text reader, whose magic check produces the
+  // error for anything that is not a trace at all.
+  return std::make_unique<trace_stream_reader>(path);
 }
 
 }  // namespace ups::net

@@ -10,7 +10,9 @@
 
 #include <fstream>
 #include <iosfwd>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "net/trace.h"
 
@@ -26,7 +28,9 @@ void save_trace(const std::string& path, const trace& t);
 // across calls, so walking a trace file needs O(1) memory regardless of its
 // length. Yields records in file order; pair with a file written from a
 // sort_by_ingress()ed trace when the consumer (the streaming replay engine)
-// requires ingress-time order.
+// requires ingress-time order. A declared header count that disagrees with
+// the records actually present — too few (truncation) or too many
+// (trailing records) — throws trace_format_error.
 class trace_stream_reader final : public trace_cursor {
  public:
   // Reads and validates the header; `is` must outlive the reader.
@@ -35,6 +39,7 @@ class trace_stream_reader final : public trace_cursor {
   explicit trace_stream_reader(const std::string& path);
 
   [[nodiscard]] const packet_record* next() override;
+  std::size_t next_run(std::vector<const packet_record*>& out) override;
   [[nodiscard]] std::size_t size_hint() const noexcept override {
     return declared_;
   }
@@ -43,12 +48,28 @@ class trace_stream_reader final : public trace_cursor {
 
  private:
   void read_header();
+  // Parses the next record into lookahead_ (one-record lookahead powers
+  // next_run's same-instant batching); false at end of trace, after
+  // verifying nothing follows the declared count.
+  bool fill_lookahead();
 
   std::ifstream owned_;
   std::istream* is_;
   std::size_t declared_ = 0;
-  std::size_t read_ = 0;
-  packet_record rec_;
+  std::size_t parsed_ = 0;  // records consumed from the stream
+  std::size_t read_ = 0;    // records handed out
+  bool has_lookahead_ = false;
+  bool checked_trailing_ = false;
+  packet_record lookahead_;
+  packet_record rec_;                 // next()'s reused hand-out slot
+  std::vector<packet_record> slots_;  // next_run()'s reused run storage
 };
+
+// Opens the right cursor for an on-disk trace by sniffing its leading
+// bytes: a zero-copy trace_mmap_cursor for the v2 binary format (yields
+// ingress order via the footer index), a trace_stream_reader for v1 text
+// (yields file order — pair with a sort_by_ingress()ed file for replay).
+[[nodiscard]] std::unique_ptr<trace_cursor> open_trace_cursor(
+    const std::string& path);
 
 }  // namespace ups::net

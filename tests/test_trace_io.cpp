@@ -191,6 +191,56 @@ TEST(trace_io, sorted_file_streams_straight_into_replay) {
   }
 }
 
+TEST(trace_io, declared_count_mismatch_is_a_hard_error_in_both_readers) {
+  // A header that declares fewer records than the file holds must throw in
+  // both readers — the two would otherwise replay different schedules from
+  // the same file (the batch loader stopping early, the stream reader
+  // declaring EOF early), which is corruption, not slack.
+  const auto r = small_run(false);
+  ASSERT_GE(r.tr.packets.size(), 2u);
+  std::stringstream ss;
+  write_trace(ss, r.tr);
+  std::string text = ss.str();
+  const std::string want = std::to_string(r.tr.packets.size());
+  const auto pos = text.find(want);
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, want.size(), std::to_string(r.tr.packets.size() - 1));
+
+  {
+    std::stringstream lying(text);
+    EXPECT_THROW(static_cast<void>(read_trace(lying)), trace_format_error);
+  }
+  {
+    std::stringstream lying(text);
+    trace_stream_reader reader(lying);
+    EXPECT_THROW(
+        [&] {
+          while (reader.next() != nullptr) {
+          }
+        }(),
+        trace_format_error);
+    // Every declared record was still handed out before the error.
+    EXPECT_EQ(reader.read(), r.tr.packets.size() - 1);
+  }
+}
+
+TEST(trace_io, stream_reader_next_run_counts_match_next) {
+  const auto r = small_run(false);
+  std::stringstream ss;
+  write_trace(ss, r.tr);
+  trace_stream_reader reader(ss);
+  std::vector<const packet_record*> run;
+  std::size_t total = 0;
+  for (;;) {
+    run.clear();
+    const std::size_t n = reader.next_run(run);
+    if (n == 0) break;
+    total += n;
+  }
+  EXPECT_EQ(total, r.tr.packets.size());
+  EXPECT_EQ(reader.read(), r.tr.packets.size());
+}
+
 TEST(trace_io, unsorted_cursor_rejected_by_replay) {
   auto r = small_run(false);
   // A recorder-ordered (egress-time) file is not ingress-sorted; feeding it

@@ -1,0 +1,259 @@
+// tracec — schedule-trace toolbox for the ups-trace formats.
+//
+//   tracec gen <out> [--topo=K] [--util=F] [--sched=NAME] [--seed=N]
+//                    [--packets=N] [--format=v1|v2] [--hops]
+//       record a scenario's original schedule, ingress-sort it, save it
+//   tracec convert <in> <out>
+//       v1 text <-> v2 binary; direction is sniffed from <in>. v1 -> v2
+//       streams record by record (O(1) record memory + the 16-byte/record
+//       ingress index), so converting never materializes the trace.
+//   tracec inspect <file> [--records=N]
+//       header summary, ingress span, integrity walk, first N records
+//   tracec replay <file> --topo=K [--mode=M] [--util=F] [--seed=N]
+//                 [--upfront]
+//       replay straight from disk (mmap for v2, streaming parse for v1)
+//       over the named topology and report overdue fractions + packets/sec
+//
+// The v1 text format stays the diffable interchange representation; v2 is
+// the replay representation (see src/net/trace_binary.h for the layout).
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/replay.h"
+#include "exp/replay_experiment.h"
+#include "exp/scenario.h"
+#include "net/trace_binary.h"
+#include "net/trace_io.h"
+#include "topo/topology.h"
+
+namespace {
+
+using namespace ups;
+
+[[noreturn]] void usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  tracec gen <out> [--topo=K] [--util=F] [--sched=NAME] [--seed=N]\n"
+      "                   [--packets=N] [--format=v1|v2] [--hops]\n"
+      "  tracec convert <in> <out>\n"
+      "  tracec inspect <file> [--records=N]\n"
+      "  tracec replay <file> --topo=K [--mode=M] [--util=F] [--seed=N]\n"
+      "                [--upfront]\n"
+      "topologies: i2 i2-1g i2-10g rocketfuel fattree\n"
+      "modes: lstf lstf-preempt lstf-pheap edf priority omniscient\n");
+  std::exit(2);
+}
+
+exp::topo_kind parse_topo(const std::string& s) {
+  if (s == "i2" || s == "i2-1g-10g") return exp::topo_kind::i2_default;
+  if (s == "i2-1g") return exp::topo_kind::i2_1g_1g;
+  if (s == "i2-10g") return exp::topo_kind::i2_10g_10g;
+  if (s == "rocketfuel") return exp::topo_kind::rocketfuel;
+  if (s == "fattree" || s == "datacenter") return exp::topo_kind::fattree;
+  std::fprintf(stderr, "tracec: unknown topology '%s'\n", s.c_str());
+  std::exit(2);
+}
+
+core::replay_mode parse_mode(const std::string& s) {
+  if (s == "lstf") return core::replay_mode::lstf;
+  if (s == "lstf-preempt") return core::replay_mode::lstf_preemptive;
+  if (s == "lstf-pheap") return core::replay_mode::lstf_pheap;
+  if (s == "edf") return core::replay_mode::edf;
+  if (s == "priority") return core::replay_mode::priority_output_time;
+  if (s == "omniscient") return core::replay_mode::omniscient;
+  std::fprintf(stderr, "tracec: unknown replay mode '%s'\n", s.c_str());
+  std::exit(2);
+}
+
+// Flag helpers over the argv tail (everything after the subcommand's
+// positional arguments).
+struct flags {
+  std::vector<std::string> all;
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& def) const {
+    const std::string prefix = "--" + name + "=";
+    for (const auto& a : all) {
+      if (a.rfind(prefix, 0) == 0) return a.substr(prefix.size());
+    }
+    return def;
+  }
+  [[nodiscard]] bool has(const std::string& name) const {
+    for (const auto& a : all) {
+      if (a == "--" + name) return true;
+    }
+    return false;
+  }
+};
+
+[[nodiscard]] double wall_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+int cmd_gen(const std::string& out, const flags& f) {
+  exp::scenario sc;
+  sc.topo = parse_topo(f.get("topo", "i2"));
+  sc.utilization = std::strtod(f.get("util", "0.7").c_str(), nullptr);
+  sc.sched = core::sched_kind_from(f.get("sched", "Random"));
+  sc.seed = std::strtoull(f.get("seed", "1").c_str(), nullptr, 10);
+  sc.packet_budget =
+      std::strtoull(f.get("packets", "20000").c_str(), nullptr, 10);
+  sc.record_hops = f.has("hops");
+  auto orig = exp::run_original(sc);
+  // Ingress-sort at record time so the v1 file streams straight into
+  // replay; v2 carries its own index but sorting keeps the two file
+  // layouts record-for-record comparable.
+  net::sort_by_ingress(orig.trace);
+  const std::string format = f.get("format", "v1");
+  if (format == "v2") {
+    net::save_trace_v2(out, orig.trace);
+  } else if (format == "v1") {
+    net::save_trace(out, orig.trace);
+  } else {
+    std::fprintf(stderr, "tracec: unknown format '%s'\n", format.c_str());
+    return 2;
+  }
+  std::printf("recorded %zu packets (%s, util %.0f%%, %s, seed %llu) -> %s\n",
+              orig.trace.packets.size(), exp::to_string(sc.topo),
+              sc.utilization * 100, core::to_string(sc.sched),
+              static_cast<unsigned long long>(sc.seed), out.c_str());
+  return 0;
+}
+
+int cmd_convert(const std::string& in, const std::string& out) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t n = 0;
+  if (net::is_trace_v2_file(in)) {
+    // Binary -> text: decode in file order so the text file keeps the
+    // byte-for-byte record order the binary was written with.
+    const net::trace t = net::load_trace_v2(in);
+    net::save_trace(out, t);
+    n = t.packets.size();
+  } else {
+    // Text -> binary, streaming: one record resident at a time.
+    net::trace_stream_reader reader(in);
+    std::ofstream os(out, std::ios::binary);
+    if (!os) throw std::runtime_error("tracec: cannot open " + out);
+    net::trace_binary_writer writer(os);
+    while (const net::packet_record* r = reader.next()) writer.append(*r);
+    writer.finish();
+    n = writer.written();
+  }
+  std::printf("converted %llu records in %.3fs -> %s\n",
+              static_cast<unsigned long long>(n), wall_since(t0),
+              out.c_str());
+  return 0;
+}
+
+int cmd_inspect(const std::string& path, const flags& f) {
+  const std::size_t show =
+      std::strtoull(f.get("records", "5").c_str(), nullptr, 10);
+  if (net::is_trace_v2_file(path)) {
+    net::trace_mmap_cursor cur(path);
+    std::printf("%s: ups-trace v2b, %zu records, %zu bytes (%.1f B/record)\n",
+                path.c_str(), cur.size_hint(), cur.file_size(),
+                cur.size_hint() == 0
+                    ? 0.0
+                    : static_cast<double>(cur.file_size()) /
+                          static_cast<double>(cur.size_hint()));
+    if (cur.size_hint() > 0) {
+      const auto first = cur.view_at(0);
+      const auto last = cur.view_at(cur.size_hint() - 1);
+      std::printf("ingress span: %lld .. %lld ps (%.3f ms)\n",
+                  static_cast<long long>(first.ingress_time()),
+                  static_cast<long long>(last.ingress_time()),
+                  sim::to_millis(last.ingress_time() - first.ingress_time()));
+    }
+    // Integrity walk: decode every record through the ingress index, which
+    // exercises the same bounds and order checks replay would hit.
+    std::size_t shown = 0;
+    while (const net::packet_record* r = cur.next()) {
+      if (shown++ >= show) continue;
+      std::printf("  id=%llu flow=%llu size=%u i=%lld o=%lld hops=%zu\n",
+                  static_cast<unsigned long long>(r->id),
+                  static_cast<unsigned long long>(r->flow_id), r->size_bytes,
+                  static_cast<long long>(r->ingress_time),
+                  static_cast<long long>(r->egress_time), r->path.size());
+    }
+    std::printf("integrity: all %zu records decode cleanly, index in "
+                "ingress order\n",
+                cur.read());
+  } else {
+    net::trace_stream_reader reader(path);
+    std::printf("%s: ups-trace v1 (text), %zu records declared\n",
+                path.c_str(), reader.size_hint());
+    std::size_t shown = 0;
+    sim::time_ps first = -1, last = -1;
+    while (const net::packet_record* r = reader.next()) {
+      if (first < 0) first = r->ingress_time;
+      last = r->ingress_time;
+      if (shown++ >= show) continue;
+      std::printf("  id=%llu flow=%llu size=%u i=%lld o=%lld hops=%zu\n",
+                  static_cast<unsigned long long>(r->id),
+                  static_cast<unsigned long long>(r->flow_id), r->size_bytes,
+                  static_cast<long long>(r->ingress_time),
+                  static_cast<long long>(r->egress_time), r->path.size());
+    }
+    std::printf("ingress span (file order): %lld .. %lld ps, %zu records "
+                "parsed\n",
+                static_cast<long long>(first), static_cast<long long>(last),
+                reader.read());
+  }
+  return 0;
+}
+
+int cmd_replay(const std::string& path, const flags& f) {
+  if (f.get("topo", "").empty()) {
+    std::fprintf(stderr, "tracec replay: --topo is required\n");
+    return 2;
+  }
+  const topo::topology topology =
+      exp::make_topology(parse_topo(f.get("topo", "")));
+  const core::replay_mode mode = parse_mode(f.get("mode", "lstf"));
+  const sim::time_ps threshold =
+      sim::transmission_time(1500, topology.bottleneck_rate());
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto res = exp::run_replay_file(
+      path, topology, threshold, mode, /*keep_outcomes=*/false,
+      f.has("upfront") ? core::injection_mode::upfront
+                       : core::injection_mode::streaming);
+  const double wall = wall_since(t0);
+  std::printf("%s: replayed %llu packets with %s in %.3fs (%.0f packets/s)\n",
+              path.c_str(), static_cast<unsigned long long>(res.total),
+              core::to_string(mode), wall,
+              static_cast<double>(res.total) / wall);
+  std::printf("overdue: %.4f  overdue beyond T=%lld ps: %.4f\n",
+              res.frac_overdue(), static_cast<long long>(res.threshold_T),
+              res.frac_overdue_beyond_T());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) usage();
+  const std::string cmd = argv[1];
+  flags f;
+  for (int i = 3; i < argc; ++i) f.all.emplace_back(argv[i]);
+  try {
+    if (cmd == "gen") return cmd_gen(argv[2], f);
+    if (cmd == "inspect") return cmd_inspect(argv[2], f);
+    if (cmd == "replay") return cmd_replay(argv[2], f);
+    if (cmd == "convert") {
+      if (argc < 4) usage();
+      return cmd_convert(argv[2], argv[3]);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tracec: %s\n", e.what());
+    return 1;
+  }
+  usage();
+}
