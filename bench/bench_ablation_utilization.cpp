@@ -5,6 +5,11 @@
 // then improves as higher utilization creates more slack to re-adjust.
 //
 // Usage: bench_ablation_utilization [--packets=N] [--seed=N] [--scale=F]
+//                                   [--workload=W]
+//
+// --workload sweeps utilization under a different traffic source (paced,
+// closed-loop[:n], closed-loop-tcp[:n], incast[:degree]) — the sweep the
+// open-loop burst model could not make meaningful on WAN topologies.
 #include <cstdio>
 #include <iostream>
 
@@ -17,16 +22,19 @@ int main(int argc, char** argv) {
   const auto a = exp::args::parse(argc, argv);
   const std::uint64_t budget = a.budget(80'000);
 
+  exp::scenario probe;
+  exp::apply_overrides(a, probe);
   std::printf("Utilization sweep: LSTF replay of Random on I2 "
-              "(%llu packets per point)\n\n",
-              static_cast<unsigned long long>(budget));
+              "(%llu packets per point, %s workload)\n\n",
+              static_cast<unsigned long long>(budget),
+              traffic::to_string(probe.workload_kind));
   stats::table t({"Utilization", "Frac overdue", "Frac overdue > T",
                   "mean lateness of overdue (us)"});
   for (const double u : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}) {
     exp::scenario sc;
-    sc.utilization = u;
-    sc.seed = a.seed;
     sc.packet_budget = budget;
+    exp::apply_overrides(a, sc);
+    sc.utilization = u;  // the sweep variable wins over --utilization
     const auto orig = exp::run_original(sc);
     const auto res =
         exp::run_replay(orig, core::replay_mode::lstf, /*keep_outcomes=*/true);

@@ -15,10 +15,30 @@
 // sharded worker mmaps the same v2 file read-only; the OS shares one
 // physical copy).
 //
+// A workload lane sweeps the traffic-source kinds {open-loop, paced,
+// closed-loop, incast} over the WAN scenario at 70% utilization, recording
+// per-workload original-run and replay packets/sec plus the original run's
+// in-flight residency (pool high-water mark), at the base budget and — for
+// the gated kinds — at twice the budget. The steady-state story, measured:
+// open-loop residency grows with the trace (heavy-tailed bursts pile into
+// the 1 Gbps access tier and the WAN wire); paced emission stays strictly
+// below that baseline but cannot beat the bandwidth×delay floor, because a
+// WAN path's propagation delay rivals an elephant's serialization span, so
+// a fully-paced flow is still almost entirely on the wire at once; the
+// bounded-outstanding closed-loop source is what actually plateaus — its
+// peak residency is flat in trace length (measured ~1.2k packets whether
+// the trace is 30k or 120k) and sits far below the open-loop baseline.
+//
 // Gates (process exits non-zero on violation):
 //   identity      sharded results must be byte-identical to the serial run
 //                 (counters, thresholds, and per-packet outcomes for every
 //                 scenario × mode cell) — always on
+//   steady-state  on the WAN 70% scenario: closed-loop peak residency at 2x
+//                 budget must stay within --max-workload-plateau (default
+//                 1.1x) of its 1x-budget peak (the plateau) AND below
+//                 --max-workload-residency (default 0.5) × the open-loop
+//                 baseline at 2x; paced peak residency must stay strictly
+//                 below the open-loop baseline (0.97x directional bar)
 //   speedup       sharded packets/sec >= --min-speedup × serial packets/sec;
 //                 enforced only when the machine actually has >= 2 hardware
 //                 threads and --threads >= 2 (a 1-core box cannot exhibit a
@@ -38,6 +58,8 @@
 // Usage: bench_macro_replay [--packets=N] [--seed=N] [--scale=F] [--quick]
 //                           [--threads=N] [--out=FILE] [--min-speedup=X]
 //                           [--max-residency=F] [--min-disk-speedup=X]
+//                           [--max-workload-residency=F]
+//                           [--max-workload-plateau=F]
 
 #include <algorithm>
 #include <chrono>
@@ -138,6 +160,8 @@ int main(int argc, char** argv) {
   double min_speedup = 2.0;
   double max_residency = 0.5;
   double min_disk_speedup = 3.0;
+  double max_workload_residency = 0.5;
+  double max_workload_plateau = 1.1;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       threads = std::strtoull(argv[i] + 10, nullptr, 10);
@@ -149,6 +173,10 @@ int main(int argc, char** argv) {
       max_residency = std::strtod(argv[i] + 16, nullptr);
     } else if (std::strncmp(argv[i], "--min-disk-speedup=", 19) == 0) {
       min_disk_speedup = std::strtod(argv[i] + 19, nullptr);
+    } else if (std::strncmp(argv[i], "--max-workload-residency=", 25) == 0) {
+      max_workload_residency = std::strtod(argv[i] + 25, nullptr);
+    } else if (std::strncmp(argv[i], "--max-workload-plateau=", 23) == 0) {
+      max_workload_plateau = std::strtod(argv[i] + 23, nullptr);
     }
   }
   if (threads == 0) threads = 4;
@@ -165,20 +193,27 @@ int main(int argc, char** argv) {
   };
 
   // Table-1-flavored shard set spanning every fan-out axis: topology,
-  // utilization, original scheduler, and seed.
+  // utilization, original scheduler, seed — and, since the traffic stack
+  // became composable, the source kind (the identity gate then covers the
+  // paced/closed-loop/incast generators too).
   struct task_spec {
     exp::topo_kind topo;
     double util;
     core::sched_kind sched;
     std::uint64_t seed_offset;
+    const char* workload;  // parse_workload name; nullptr = open-loop
   };
   const task_spec specs[] = {
-      {exp::topo_kind::i2_default, 0.7, core::sched_kind::random, 0},
-      {exp::topo_kind::i2_default, 0.7, core::sched_kind::random, 1},
-      {exp::topo_kind::i2_default, 0.5, core::sched_kind::random, 0},
-      {exp::topo_kind::i2_default, 0.9, core::sched_kind::fifo, 0},
-      {exp::topo_kind::i2_1g_1g, 0.7, core::sched_kind::random, 0},
-      {exp::topo_kind::fattree, 0.7, core::sched_kind::random, 0},
+      {exp::topo_kind::i2_default, 0.7, core::sched_kind::random, 0, nullptr},
+      {exp::topo_kind::i2_default, 0.7, core::sched_kind::random, 1, nullptr},
+      {exp::topo_kind::i2_default, 0.5, core::sched_kind::random, 0, nullptr},
+      {exp::topo_kind::i2_default, 0.9, core::sched_kind::fifo, 0, nullptr},
+      {exp::topo_kind::i2_1g_1g, 0.7, core::sched_kind::random, 0, nullptr},
+      {exp::topo_kind::fattree, 0.7, core::sched_kind::random, 0, nullptr},
+      {exp::topo_kind::i2_default, 0.7, core::sched_kind::random, 0, "paced"},
+      {exp::topo_kind::i2_default, 0.7, core::sched_kind::random, 0,
+       "closed-loop"},
+      {exp::topo_kind::fattree, 0.7, core::sched_kind::random, 0, "incast"},
   };
   std::vector<exp::shard_task> tasks;
   for (const auto& s : specs) {
@@ -188,6 +223,10 @@ int main(int argc, char** argv) {
     t.sc.sched = s.sched;
     t.sc.seed = a.seed + s.seed_offset;
     t.sc.packet_budget = budget;
+    if (s.workload != nullptr) {
+      t.sc.workload_kind =
+          traffic::parse_workload(s.workload, t.sc.workload_spec);
+    }
     t.modes = modes;
     tasks.push_back(std::move(t));
   }
@@ -256,6 +295,57 @@ int main(int argc, char** argv) {
   const double residency_ratio =
       static_cast<double>(res_stream.peak_pool_packets) /
       static_cast<double>(res_upfront.peak_pool_packets);
+
+  // --- workload lane: traffic-source kinds on the WAN scenario --------------
+  // Same scenario (I2 at 70%, Random, heavy-tailed), four source kinds at
+  // the base budget (perf-trajectory data), plus a 2x-budget original for
+  // the three gated kinds so the plateau is measured, not assumed: a source
+  // that reaches steady state has a residency curve that is flat in trace
+  // length, not merely lower.
+  struct workload_lane {
+    const char* name;
+    std::uint64_t trace_packets = 0;
+    double original_wall = 0;
+    double replay_wall = 0;
+    std::uint64_t peak_pool = 0;
+    std::uint64_t peak_pool_2x = 0;  // 0: not measured for this kind
+    std::uint64_t flows_completed = 0;
+    double frac_overdue = 0;
+    double frac_overdue_beyond_T = 0;
+  };
+  const auto wan_scenario = [&](const char* wname, std::uint64_t pkts) {
+    exp::scenario wsc;
+    wsc.topo = exp::topo_kind::i2_default;
+    wsc.utilization = 0.7;
+    wsc.sched = core::sched_kind::random;
+    wsc.seed = a.seed;
+    wsc.packet_budget = pkts;
+    wsc.workload_kind = traffic::parse_workload(wname, wsc.workload_spec);
+    return wsc;
+  };
+  std::vector<workload_lane> lanes;
+  for (const char* wname : {"open-loop", "paced", "closed-loop", "incast"}) {
+    workload_lane l;
+    l.name = wname;
+    const auto t_orig = std::chrono::steady_clock::now();
+    const auto worig = exp::run_original(wan_scenario(wname, budget));
+    l.original_wall = exp::wall_seconds_since(t_orig);
+    l.trace_packets = worig.trace.packets.size();
+    l.peak_pool = worig.peak_pool_packets;
+    l.flows_completed = worig.flows_completed;
+    const auto t_rep = std::chrono::steady_clock::now();
+    const auto wrep =
+        exp::run_replay(worig, core::replay_mode::lstf, /*keep_outcomes=*/false);
+    l.replay_wall = exp::wall_seconds_since(t_rep);
+    l.frac_overdue = wrep.frac_overdue();
+    l.frac_overdue_beyond_T = wrep.frac_overdue_beyond_T();
+    if (std::strcmp(wname, "incast") != 0) {
+      l.peak_pool_2x =
+          exp::run_original(wan_scenario(wname, 2 * budget)).peak_pool_packets;
+    }
+    lanes.push_back(l);
+  }
+  const std::uint64_t open_loop_peak_2x = lanes[0].peak_pool_2x;
 
   // --- disk-replay lane: v1 text vs v2 binary -------------------------------
   // Same workload trace written in both formats; sorted once at "record
@@ -336,18 +426,40 @@ int main(int argc, char** argv) {
   std::remove(v2_path.c_str());
 
   // --- report --------------------------------------------------------------
-  std::printf("\n%-22s %6s %9s", "scenario", "util", "packets");
+  std::printf("\n%-22s %6s %-12s %9s", "scenario", "util", "workload",
+              "packets");
   for (const auto m : modes) std::printf(" %16s", core::to_string(m));
   std::printf("\n");
   for (const auto& r : serial) {
-    std::printf("%-22s %5.0f%% %9llu", exp::to_string(r.sc.topo),
+    std::printf("%-22s %5.0f%% %-12s %9llu", exp::to_string(r.sc.topo),
                 r.sc.utilization * 100,
+                traffic::to_string(r.sc.workload_kind),
                 static_cast<unsigned long long>(r.trace_packets));
     for (const auto& rep : r.replays) {
       std::printf("   %6.4f/%7.4f", rep.result.frac_overdue(),
                   rep.result.frac_overdue_beyond_T());
     }
     std::printf("\n");
+  }
+  std::printf("\nworkload lane (I2 @70%% Random, per-kind original + LSTF "
+              "replay; peak@2x gates the plateau):\n");
+  std::printf("  %-14s %9s %14s %14s %12s %12s %10s\n", "workload", "packets",
+              "orig pkt/s", "replay pkt/s", "peak pool", "peak@2x",
+              "vs open@2x");
+  for (const auto& l : lanes) {
+    std::printf("  %-14s %9llu %14.0f %14.0f %12llu", l.name,
+                static_cast<unsigned long long>(l.trace_packets),
+                static_cast<double>(l.trace_packets) / l.original_wall,
+                static_cast<double>(l.trace_packets) / l.replay_wall,
+                static_cast<unsigned long long>(l.peak_pool));
+    if (l.peak_pool_2x != 0) {
+      std::printf(" %12llu %9.3fx\n",
+                  static_cast<unsigned long long>(l.peak_pool_2x),
+                  static_cast<double>(l.peak_pool_2x) /
+                      static_cast<double>(open_loop_peak_2x));
+    } else {
+      std::printf(" %12s %10s\n", "-", "-");
+    }
   }
   std::printf("\nserial : %7.2fs  %12.0f packets/sec\n", serial_wall,
               serial_pps);
@@ -419,6 +531,23 @@ int main(int argc, char** argv) {
         << ", \"binary_replay_packets_per_sec\": " << bin_replay_pps
         << ", \"replay_speedup\": " << bin_replay_pps / text_replay_pps
         << ", \"identical\": " << (disk_same ? "true" : "false") << "},\n"
+        << "  \"workloads\": [\n";
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+      const auto& l = lanes[i];
+      out << "    {\"kind\": \"" << l.name
+          << "\", \"trace_packets\": " << l.trace_packets
+          << ", \"original_packets_per_sec\": "
+          << static_cast<double>(l.trace_packets) / l.original_wall
+          << ", \"replay_packets_per_sec\": "
+          << static_cast<double>(l.trace_packets) / l.replay_wall
+          << ", \"peak_pool_packets\": " << l.peak_pool
+          << ", \"peak_pool_packets_2x\": " << l.peak_pool_2x
+          << ", \"flows_completed\": " << l.flows_completed
+          << ", \"frac_overdue\": " << l.frac_overdue
+          << ", \"frac_overdue_beyond_T\": " << l.frac_overdue_beyond_T
+          << "}" << (i + 1 < lanes.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n"
         << "  \"scenarios\": [\n";
     for (std::size_t i = 0; i < serial.size(); ++i) {
       const auto& r = serial[i];
@@ -426,6 +555,9 @@ int main(int argc, char** argv) {
           << "\", \"utilization\": " << r.sc.utilization
           << ", \"scheduler\": \"" << core::to_string(r.sc.sched)
           << "\", \"seed\": " << r.sc.seed
+          << ", \"workload\": \"" << traffic::to_string(r.sc.workload_kind)
+          << "\", \"original_peak_pool_packets\": "
+          << r.original_peak_pool_packets
           << ", \"trace_packets\": " << r.trace_packets << ", \"modes\": [";
       for (std::size_t m = 0; m < r.replays.size(); ++m) {
         const auto& rep = r.replays[m];
@@ -459,6 +591,45 @@ int main(int argc, char** argv) {
                  max_residency,
                  static_cast<unsigned long long>(
                      res_upfront.peak_pool_packets));
+    ++failures;
+  }
+  // Steady-state gates (lanes: 0 open-loop, 1 paced, 2 closed-loop; incast
+  // is open-loop fan-in by design and carries no bound). The closed-loop
+  // source must genuinely plateau — flat residency in trace length, far
+  // below the open-loop baseline. Paced emission is gated directionally:
+  // strictly below the baseline, because on a WAN the bandwidth×delay
+  // product floors what any open-ended source can achieve (a paced elephant
+  // is still almost entirely on the wire at once when propagation delay
+  // rivals its serialization span — measured, not a guess).
+  const auto& paced_lane = lanes[1];
+  const auto& closed_lane = lanes[2];
+  if (static_cast<double>(closed_lane.peak_pool_2x) >
+      max_workload_plateau * static_cast<double>(closed_lane.peak_pool)) {
+    std::fprintf(stderr,
+                 "FAIL: closed-loop residency did not plateau: %llu at 2x "
+                 "budget vs %llu at 1x (> %.2fx) — outstanding bound leak?\n",
+                 static_cast<unsigned long long>(closed_lane.peak_pool_2x),
+                 static_cast<unsigned long long>(closed_lane.peak_pool),
+                 max_workload_plateau);
+    ++failures;
+  }
+  if (static_cast<double>(closed_lane.peak_pool_2x) >
+      max_workload_residency * static_cast<double>(open_loop_peak_2x)) {
+    std::fprintf(stderr,
+                 "FAIL: closed-loop peak residency %llu > %.2f x open-loop "
+                 "baseline %llu — WAN scenario did not reach steady state\n",
+                 static_cast<unsigned long long>(closed_lane.peak_pool_2x),
+                 max_workload_residency,
+                 static_cast<unsigned long long>(open_loop_peak_2x));
+    ++failures;
+  }
+  if (static_cast<double>(paced_lane.peak_pool_2x) >
+      0.97 * static_cast<double>(open_loop_peak_2x)) {
+    std::fprintf(stderr,
+                 "FAIL: paced peak residency %llu is not below the open-loop "
+                 "baseline %llu — pacing is not shaping emission\n",
+                 static_cast<unsigned long long>(paced_lane.peak_pool_2x),
+                 static_cast<unsigned long long>(open_loop_peak_2x));
     ++failures;
   }
   if (!disk_same) {

@@ -5,6 +5,11 @@
 // transmission time on the bottleneck link).
 //
 // Usage: bench_table1 [--packets=N] [--seed=N] [--scale=F] [--quick]
+//                     [--workload=W] [--utilization=F]
+//
+// --workload reruns the whole table under a different traffic source
+// (paced, closed-loop[:n], closed-loop-tcp[:n], incast[:degree]);
+// --utilization forces every row to one utilization.
 #include <cstdio>
 #include <iostream>
 
@@ -44,8 +49,12 @@ int main(int argc, char** argv) {
       {exp::topo_kind::i2_default, 0.7, core::sched_kind::fq_fifo_plus_mix},
   };
 
-  std::printf("Table 1: LSTF replayability (%llu packets per scenario)\n\n",
-              static_cast<unsigned long long>(budget));
+  exp::scenario probe;
+  exp::apply_overrides(a, probe);
+  std::printf("Table 1: LSTF replayability (%llu packets per scenario, "
+              "%s workload)\n\n",
+              static_cast<unsigned long long>(budget),
+              traffic::to_string(probe.workload_kind));
   stats::table t({"Topology", "Util", "Scheduling", "Frac overdue",
                   "Frac overdue > T", "packets"});
   for (const auto& r : rows) {
@@ -53,8 +62,8 @@ int main(int argc, char** argv) {
     sc.topo = r.topo;
     sc.utilization = r.util;
     sc.sched = r.sched;
-    sc.seed = a.seed;
     sc.packet_budget = budget;
+    exp::apply_overrides(a, sc);
     const auto res = exp::table1_row(sc);
     t.add_row({exp::to_string(r.topo),
                stats::table::fmt_pct(r.util, 0),

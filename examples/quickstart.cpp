@@ -15,7 +15,7 @@
 #include "sim/simulator.h"
 #include "topo/basic.h"
 #include "traffic/size_dist.h"
-#include "traffic/udp_app.h"
+#include "traffic/source.h"
 #include "traffic/workload.h"
 
 int main() {
@@ -45,7 +45,7 @@ int main() {
               static_cast<unsigned long long>(wl.total_packets),
               wl.per_host_rate_bps / 1e6);
 
-  traffic::udp_app app(net, std::move(wl.flows), {});
+  traffic::open_loop_source app(net, std::move(wl.flows), {});
   sim.run();
   const auto trace = recorder.take();
   std::printf("original schedule recorded: %zu packets, %llu events\n",

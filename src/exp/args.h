@@ -1,9 +1,13 @@
 // Minimal CLI flag parsing shared by bench and example binaries.
 //
-//   --packets=N   override the per-scenario packet budget
-//   --seed=N      RNG seed
-//   --scale=F     multiply default packet budgets by F
-//   --quick       shrink budgets ~10x for smoke runs
+//   --packets=N       override the per-scenario packet budget
+//   --seed=N          RNG seed
+//   --scale=F         multiply default packet budgets by F
+//   --quick           shrink budgets ~10x for smoke runs
+//   --utilization=F   override the scenario's target utilization (0 < F < 1)
+//   --workload=NAME   traffic source kind: open-loop, paced[:frac],
+//                     closed-loop[:outstanding], closed-loop-tcp[:outstanding],
+//                     incast[:degree] (see traffic::parse_workload)
 #pragma once
 
 #include <cstdint>
@@ -18,6 +22,8 @@ struct args {
   std::uint64_t seed = 1;
   double scale = 1.0;
   bool quick = false;
+  double utilization = 0.0;  // <= 0: use the experiment default
+  std::string workload;      // empty: use the experiment default
 
   [[nodiscard]] static args parse(int argc, char** argv) {
     args a;
@@ -29,6 +35,10 @@ struct args {
         a.seed = std::strtoull(s.c_str() + 7, nullptr, 10);
       } else if (s.rfind("--scale=", 0) == 0) {
         a.scale = std::strtod(s.c_str() + 8, nullptr);
+      } else if (s.rfind("--utilization=", 0) == 0) {
+        a.utilization = std::strtod(s.c_str() + 14, nullptr);
+      } else if (s.rfind("--workload=", 0) == 0) {
+        a.workload = s.substr(11);
       } else if (s == "--quick") {
         a.quick = true;
       }

@@ -6,7 +6,7 @@
 #include "net/trace_io.h"
 #include "sim/simulator.h"
 #include "traffic/size_dist.h"
-#include "traffic/udp_app.h"
+#include "traffic/source.h"
 #include "traffic/workload.h"
 
 namespace ups::exp {
@@ -36,14 +36,18 @@ original_run run_original(const scenario& sc) {
   wcfg.utilization = sc.utilization;
   wcfg.seed = sc.seed;
   wcfg.packet_budget = sc.packet_budget;
-  auto wl = traffic::generate(net, out.topology, *dist, wcfg);
-  out.per_host_rate_bps = wl.per_host_rate_bps;
-
-  traffic::udp_app::options aopt;
-  aopt.record_hops = sc.record_hops;
-  traffic::udp_app app(net, std::move(wl.flows), aopt);
+  traffic::source_options sopt;
+  sopt.record_hops = sc.record_hops;
+  auto made =
+      traffic::make_source(net, out.topology, *dist, wcfg, sc.workload_kind,
+                           sc.workload_spec, std::move(sopt));
+  out.per_host_rate_bps = made.per_host_rate_bps;
 
   sim.run();
+  out.peak_pool_packets = net.pool().created();
+  out.peak_event_slots = sim.slot_capacity();
+  out.flows_completed = made.src->flows_completed();
+  out.peak_outstanding_flows = made.src->peak_outstanding();
   out.trace = recorder.take();
   return out;
 }

@@ -15,10 +15,21 @@ struct original_run {
   net::trace trace;
   sim::time_ps threshold_T = 0;  // 1500B at the bottleneck rate
   double per_host_rate_bps = 0.0;
+  // Residency high-water marks of the original (recording) run: distinct
+  // packet objects the pool ever allocated and the event slab's capacity.
+  // The steady-state evidence for paced/closed-loop sources: an open-loop
+  // elephant burst parks most of the trace in one egress queue, a paced or
+  // bounded-outstanding source keeps this at O(in-flight).
+  std::uint64_t peak_pool_packets = 0;
+  std::uint64_t peak_event_slots = 0;
+  // Source accounting (closed-loop: flows delivered end-to-end).
+  std::uint64_t flows_completed = 0;
+  std::uint64_t peak_outstanding_flows = 0;
 };
 
-// Runs the scenario's original schedule over Poisson/heavy-tailed UDP
-// traffic and records it.
+// Runs the scenario's original schedule over its calibrated traffic source
+// (scenario::workload_kind — open-loop, paced, closed-loop, or incast) and
+// records it.
 [[nodiscard]] original_run run_original(const scenario& sc);
 
 // Replays a recorded run with the given candidate UPS. The single place

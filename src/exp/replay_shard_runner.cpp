@@ -57,6 +57,8 @@ std::vector<shard_result> run_sharded(const std::vector<shard_task>& tasks,
     r.trace_packets = originals[i].trace.packets.size();
     r.threshold_T = originals[i].threshold_T;
     r.original_wall_seconds = wall_seconds_since(t0);
+    r.original_peak_pool_packets = originals[i].peak_pool_packets;
+    r.original_flows_completed = originals[i].flows_completed;
     r.replays.resize(tasks[i].modes.size());
   });
 

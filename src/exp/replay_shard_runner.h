@@ -47,6 +47,11 @@ struct shard_result {
   std::uint64_t trace_packets = 0;
   sim::time_ps threshold_T = 0;
   double original_wall_seconds = 0;
+  // Original-run in-flight residency (pool high-water mark) and source
+  // accounting, so per-workload sweeps can compare steady-state behavior
+  // across source kinds without rerunning the originals.
+  std::uint64_t original_peak_pool_packets = 0;
+  std::uint64_t original_flows_completed = 0;
   std::vector<shard_replay> replays;  // same order as the task's modes
 };
 

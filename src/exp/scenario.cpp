@@ -1,5 +1,6 @@
 #include "exp/scenario.h"
 
+#include <cstdio>
 #include <stdexcept>
 
 #include "topo/fattree.h"
@@ -31,9 +32,49 @@ topo::topology make_topology(topo_kind k) {
 }
 
 std::string scenario::label() const {
-  return std::string(to_string(topo)) + " @" +
-         std::to_string(static_cast<int>(utilization * 100)) + "% " +
-         core::to_string(sched);
+  std::string s = std::string(to_string(topo)) + " @" +
+                  std::to_string(static_cast<int>(utilization * 100)) + "% " +
+                  core::to_string(sched);
+  // Flow-size distribution knob: "heavy" vs "fixed<bytes>B" — scenarios
+  // differing only here used to collide.
+  if (flows == flow_dist_kind::fixed) {
+    s += " fixed" + std::to_string(fixed_flow_bytes) + "B";
+  } else {
+    s += " heavy";
+  }
+  // Workload kind plus the tuning knobs that shape its schedule.
+  s += " ";
+  s += traffic::to_string(workload_kind);
+  char knob[48];
+  switch (workload_kind) {
+    case traffic::source_kind::open_loop:
+      break;
+    case traffic::source_kind::paced:
+      std::snprintf(knob, sizeof(knob), ":%g", workload_spec.pacing_fraction);
+      s += knob;
+      break;
+    case traffic::source_kind::closed_loop:
+      std::snprintf(knob, sizeof(knob), "%s:%u",
+                    workload_spec.via_tcp ? "-tcp" : "",
+                    workload_spec.outstanding);
+      s += knob;
+      break;
+    case traffic::source_kind::incast:
+      std::snprintf(knob, sizeof(knob), ":%uj%gus",
+                    workload_spec.incast_degree,
+                    sim::to_micros(workload_spec.barrier_jitter));
+      s += knob;
+      break;
+  }
+  return s;
+}
+
+void apply_overrides(const args& a, scenario& sc) {
+  sc.seed = a.seed;
+  if (a.utilization > 0) sc.utilization = a.utilization;
+  if (!a.workload.empty()) {
+    sc.workload_kind = traffic::parse_workload(a.workload, sc.workload_spec);
+  }
 }
 
 }  // namespace ups::exp

@@ -1,12 +1,14 @@
-// Experiment scenarios: the (topology, utilization, scheduler, seed)
-// combinations that make up the paper's Table 1 and figures.
+// Experiment scenarios: the (topology, utilization, scheduler, workload,
+// seed) combinations that make up the paper's Table 1 and figures.
 #pragma once
 
 #include <cstdint>
 #include <string>
 
 #include "core/registry.h"
+#include "exp/args.h"
 #include "topo/topology.h"
+#include "traffic/source.h"
 
 namespace ups::exp {
 
@@ -37,8 +39,22 @@ struct scenario {
   bool record_hops = false;  // omniscient replay needs per-hop times
   flow_dist_kind flows = flow_dist_kind::heavy_tailed;
   std::uint64_t fixed_flow_bytes = 15'000;  // used when flows == fixed
+  // Traffic-source selection: how the calibrated workload enters the
+  // network (open-loop bursts, per-flow pacing, bounded-outstanding
+  // request-response, or synchronized incast fan-in) plus its knobs.
+  traffic::source_kind workload_kind = traffic::source_kind::open_loop;
+  traffic::source_tuning workload_spec;
 
+  // Unique across every knob that changes the generated schedule: topology,
+  // utilization, scheduler, flow-size distribution, and the workload kind
+  // with its active tuning parameters — so result files from different
+  // workloads can never collide.
   [[nodiscard]] std::string label() const;
 };
+
+// Applies parsed CLI overrides onto a scenario: --seed= always,
+// --utilization= when set, --workload= (kind plus any ":knob" suffix) when
+// set. Budget overrides still go through args::budget().
+void apply_overrides(const args& a, scenario& sc);
 
 }  // namespace ups::exp

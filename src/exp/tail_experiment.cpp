@@ -5,7 +5,7 @@
 #include "net/network.h"
 #include "sim/simulator.h"
 #include "traffic/size_dist.h"
-#include "traffic/udp_app.h"
+#include "traffic/source.h"
 #include "traffic/workload.h"
 
 namespace ups::exp {
@@ -47,13 +47,13 @@ tail_result run_tail(tail_variant v, const tail_config& cfg) {
   auto wl = traffic::generate(net, topology, *dist, wcfg);
 
   core::tail_slack slack_policy;  // uniform 1 s: LSTF == FIFO+
-  traffic::udp_app::options aopt;
+  traffic::source_options sopt;
   if (v == tail_variant::lstf_uniform_slack) {
-    aopt.stamper = [&slack_policy](net::packet& p) {
+    sopt.stamper = [&slack_policy](net::packet& p) {
       p.slack = slack_policy.slack_for();
     };
   }
-  traffic::udp_app app(net, std::move(wl.flows), aopt);
+  traffic::open_loop_source app(net, std::move(wl.flows), std::move(sopt));
   sim.run();
 
   res.mean_s = res.delay_s.mean();

@@ -1,21 +1,23 @@
-// Open-loop UDP application: each flow's packets enter the source host's
-// NIC queue at the flow start time and the NIC paces them onto the wire.
+// Legacy open-loop UDP application: each flow's packets enter the source
+// host's NIC queue at the flow start time and the NIC paces them onto the
+// wire.
 //
-// The stamper callback initializes the scheduling header at the source —
-// this is where the §3 slack heuristics plug in (in replay experiments the
-// header is instead initialized by the replay engine, not here).
+// Superseded by the traffic::source subsystem (traffic/source.h):
+// open_loop_source reproduces this behavior byte-for-byte and is what the
+// experiment drivers construct. This class is retained as the pre-refactor
+// reference implementation that the legacy-mode equivalence test
+// (tests/test_traffic_sources.cpp) compares traces against — do not change
+// its emission behavior.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "net/network.h"
+#include "traffic/source.h"
 #include "traffic/workload.h"
 
 namespace ups::traffic {
-
-using header_stamper = std::function<void(net::packet&)>;
 
 class udp_app {
  public:

@@ -6,6 +6,11 @@
 // network (access or core) carries exactly the target utilization under the
 // uniform random traffic matrix, then pre-generate flow arrivals until a
 // packet budget is met so experiment cost is topology-independent.
+//
+// The calibration core is shared by every traffic::source kind: the Poisson
+// flow list feeds the open-loop, paced, and closed-loop sources, and
+// generate_incast reuses the same per-host rate to produce synchronized
+// N-to-1 fan-in epochs at the same offered network load.
 #pragma once
 
 #include <cstdint>
@@ -44,10 +49,55 @@ struct workload {
   std::uint64_t total_packets = 0;
 };
 
+// Calibrates the per-host offered rate (bits/sec) so that the most loaded
+// directed link carries cfg.utilization under the uniform random traffic
+// matrix. `net` must be built (routing). Shared by generate() and
+// generate_incast(); exposed so tests can verify the calibration directly.
+[[nodiscard]] double calibrate_per_host_rate(net::network& net,
+                                             const topo::topology& topo,
+                                             const workload_config& cfg);
+
 // Calibrates and generates the flow list. `net` must be built (routing);
 // the topology supplies host ids and link rates.
 [[nodiscard]] workload generate(net::network& net, const topo::topology& topo,
                                 const flow_size_dist& dist,
                                 const workload_config& cfg);
+
+// One synchronized N-to-1 fan-in: `degree` senders each start a flow toward
+// the same victim host at barrier + offsets[i] (jittered). Sender flow ids
+// are consecutive starting at first_flow_id.
+struct incast_epoch {
+  sim::time_ps barrier = 0;
+  net::node_id dst = net::kInvalidNode;
+  std::uint64_t first_flow_id = 0;
+  std::vector<net::node_id> srcs;        // one entry per sender
+  std::vector<std::uint64_t> sizes;      // bytes, parallel to srcs
+  std::vector<sim::time_ps> offsets;     // start jitter, parallel to srcs
+};
+
+struct incast_workload {
+  std::vector<incast_epoch> epochs;
+  double per_host_rate_bps = 0.0;
+  double max_link_utilization = 0.0;
+  std::uint64_t total_packets = 0;
+  std::uint64_t flow_count = 0;
+};
+
+// Calibrated incast epochs: barriers arrive as a Poisson process whose rate
+// keeps the aggregate offered load equal to generate()'s (same calibration),
+// each epoch picks a uniform victim and `degree` distinct senders, and every
+// sender's start is jittered uniformly in [0, barrier_jitter].
+[[nodiscard]] incast_workload generate_incast(net::network& net,
+                                              const topo::topology& topo,
+                                              const flow_size_dist& dist,
+                                              const workload_config& cfg,
+                                              std::uint32_t degree,
+                                              sim::time_ps barrier_jitter);
+
+// Highest observed utilization across finite-rate ports: bytes actually
+// transmitted over `span` divided by link capacity. The empirical check
+// that the analytic calibration above lands where it claims.
+[[nodiscard]] double measured_peak_utilization(const net::network& net,
+                                               sim::time_ps span);
 
 }  // namespace ups::traffic

@@ -204,6 +204,7 @@ void tcp_manager::complete(flow& f) {
       fct_sample{f.id, f.size, f.started, net_.sim().now()});
   assert(active_ > 0);
   --active_;
+  if (on_complete_) on_complete_(completions_.back());
 }
 
 std::uint64_t tcp_manager::delivered_bytes(std::uint64_t flow_id) const {

@@ -57,6 +57,12 @@ class tcp_manager {
                   std::uint64_t size_bytes, sim::time_ps at,
                   header_stamper stamper = {});
 
+  // Invoked when a flow's last byte is acknowledged (after the fct_sample
+  // is recorded). Closed-loop sources use this to launch the next request.
+  void set_on_complete(std::function<void(const fct_sample&)> cb) {
+    on_complete_ = std::move(cb);
+  }
+
   [[nodiscard]] const std::vector<fct_sample>& completions() const noexcept {
     return completions_;
   }
@@ -113,6 +119,7 @@ class tcp_manager {
   std::unordered_map<std::uint64_t, std::unique_ptr<flow>> flows_;
   std::vector<bool> hooked_;
   std::vector<fct_sample> completions_;
+  std::function<void(const fct_sample&)> on_complete_;
   std::uint64_t next_packet_id_ = (1ull << 48);  // distinct from UDP ids
   std::uint64_t active_ = 0;
 };

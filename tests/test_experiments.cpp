@@ -48,10 +48,17 @@ TEST(replay_experiment, deterministic_given_seed) {
 
 TEST(replay_experiment, scenario_labels) {
   scenario sc;
-  EXPECT_EQ(sc.label(), "I2 1Gbps-10Gbps @70% Random");
+  EXPECT_EQ(sc.label(), "I2 1Gbps-10Gbps @70% Random heavy open-loop");
   sc.sched = core::sched_kind::fq_fifo_plus_mix;
   sc.utilization = 0.3;
-  EXPECT_EQ(sc.label(), "I2 1Gbps-10Gbps @30% FQ/FIFO+");
+  EXPECT_EQ(sc.label(), "I2 1Gbps-10Gbps @30% FQ/FIFO+ heavy open-loop");
+  sc.flows = flow_dist_kind::fixed;
+  EXPECT_EQ(sc.label(),
+            "I2 1Gbps-10Gbps @30% FQ/FIFO+ fixed15000B open-loop");
+  sc.workload_kind = traffic::source_kind::paced;
+  sc.workload_spec.pacing_fraction = 0.5;
+  EXPECT_EQ(sc.label(),
+            "I2 1Gbps-10Gbps @30% FQ/FIFO+ fixed15000B paced:0.5");
 }
 
 TEST(fct_experiment, sjf_like_beats_fifo_at_small_scale) {

@@ -1,8 +1,11 @@
 // tracec — schedule-trace toolbox for the ups-trace formats.
 //
 //   tracec gen <out> [--topo=K] [--util=F] [--sched=NAME] [--seed=N]
-//                    [--packets=N] [--format=v1|v2] [--hops]
-//       record a scenario's original schedule, ingress-sort it, save it
+//                    [--packets=N] [--format=v1|v2] [--hops] [--workload=W]
+//       record a scenario's original schedule, ingress-sort it, save it.
+//       --workload selects the traffic source: open-loop (default),
+//       paced[:frac], closed-loop[:outstanding], closed-loop-tcp[:n],
+//       incast[:degree]
 //   tracec convert <in> <out>
 //       v1 text <-> v2 binary; direction is sniffed from <in>. v1 -> v2
 //       streams record by record (O(1) record memory + the 16-byte/record
@@ -43,12 +46,15 @@ using namespace ups;
       "usage:\n"
       "  tracec gen <out> [--topo=K] [--util=F] [--sched=NAME] [--seed=N]\n"
       "                   [--packets=N] [--format=v1|v2] [--hops]\n"
+      "                   [--workload=W]\n"
       "  tracec convert <in> <out>\n"
       "  tracec inspect <file> [--records=N]\n"
       "  tracec replay <file> --topo=K [--mode=M] [--util=F] [--seed=N]\n"
       "                [--upfront]\n"
       "topologies: i2 i2-1g i2-10g rocketfuel fattree\n"
-      "modes: lstf lstf-preempt lstf-pheap edf priority omniscient\n");
+      "modes: lstf lstf-preempt lstf-pheap edf priority omniscient\n"
+      "workloads: open-loop paced[:frac] closed-loop[:outstanding]\n"
+      "           closed-loop-tcp[:outstanding] incast[:degree]\n");
   std::exit(2);
 }
 
@@ -107,6 +113,8 @@ int cmd_gen(const std::string& out, const flags& f) {
   sc.packet_budget =
       std::strtoull(f.get("packets", "20000").c_str(), nullptr, 10);
   sc.record_hops = f.has("hops");
+  const std::string workload = f.get("workload", "open-loop");
+  sc.workload_kind = traffic::parse_workload(workload, sc.workload_spec);
   auto orig = exp::run_original(sc);
   // Ingress-sort at record time so the v1 file streams straight into
   // replay; v2 carries its own index but sorting keeps the two file
@@ -121,10 +129,14 @@ int cmd_gen(const std::string& out, const flags& f) {
     std::fprintf(stderr, "tracec: unknown format '%s'\n", format.c_str());
     return 2;
   }
-  std::printf("recorded %zu packets (%s, util %.0f%%, %s, seed %llu) -> %s\n",
+  std::printf("recorded %zu packets (%s, util %.0f%%, %s, %s, seed %llu, "
+              "peak in-flight %llu) -> %s\n",
               orig.trace.packets.size(), exp::to_string(sc.topo),
               sc.utilization * 100, core::to_string(sc.sched),
-              static_cast<unsigned long long>(sc.seed), out.c_str());
+              traffic::to_string(sc.workload_kind),
+              static_cast<unsigned long long>(sc.seed),
+              static_cast<unsigned long long>(orig.peak_pool_packets),
+              out.c_str());
   return 0;
 }
 
