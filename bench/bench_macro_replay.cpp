@@ -55,11 +55,21 @@
 //                 ingestion is single-threaded I/O work, measurable even on
 //                 a 1-core box
 //
+//   baseline      with --baseline=FILE (a committed heap-kernel-era
+//                 BENCH_macro_replay.json from bench/baselines/), serial
+//                 packets/sec must stay >= --min-baseline-ratio x the
+//                 recorded serial packets/sec — the in-repo perf-smoke
+//                 trajectory for the timing-wheel event kernel. The ratio
+//                 is deliberately loose (machines differ); it exists to
+//                 catch a kernel swap that tanks end-to-end throughput,
+//                 while the within-binary micro gates own the tight bars.
+//
 // Usage: bench_macro_replay [--packets=N] [--seed=N] [--scale=F] [--quick]
 //                           [--threads=N] [--out=FILE] [--min-speedup=X]
 //                           [--max-residency=F] [--min-disk-speedup=X]
 //                           [--max-workload-residency=F]
 //                           [--max-workload-plateau=F]
+//                           [--baseline=FILE] [--min-baseline-ratio=X]
 
 #include <algorithm>
 #include <chrono>
@@ -67,6 +77,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <string>
 #include <thread>
 #include <vector>
@@ -151,6 +162,22 @@ ingest_stats drain(net::trace_cursor& cur) {
   return is ? static_cast<std::uint64_t>(is.tellg()) : 0;
 }
 
+// Pulls the committed baseline's serial packets/sec out of a
+// BENCH_macro_replay.json: the number after "packets_per_sec": inside the
+// "serial" object. Returns 0 when absent/unparseable.
+[[nodiscard]] double baseline_serial_pps(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return 0.0;
+  std::string text((std::istreambuf_iterator<char>(is)),
+                   std::istreambuf_iterator<char>());
+  const auto sp = text.find("\"serial\"");
+  if (sp == std::string::npos) return 0.0;
+  const char* key = "\"packets_per_sec\": ";
+  const auto pp = text.find(key, sp);
+  if (pp == std::string::npos) return 0.0;
+  return std::strtod(text.c_str() + pp + std::strlen(key), nullptr);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -162,6 +189,8 @@ int main(int argc, char** argv) {
   double min_disk_speedup = 3.0;
   double max_workload_residency = 0.5;
   double max_workload_plateau = 1.1;
+  std::string baseline_path;
+  double min_baseline_ratio = 0.25;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       threads = std::strtoull(argv[i] + 10, nullptr, 10);
@@ -177,6 +206,10 @@ int main(int argc, char** argv) {
       max_workload_residency = std::strtod(argv[i] + 25, nullptr);
     } else if (std::strncmp(argv[i], "--max-workload-plateau=", 23) == 0) {
       max_workload_plateau = std::strtod(argv[i] + 23, nullptr);
+    } else if (std::strncmp(argv[i], "--baseline=", 11) == 0) {
+      baseline_path = argv[i] + 11;
+    } else if (std::strncmp(argv[i], "--min-baseline-ratio=", 21) == 0) {
+      min_baseline_ratio = std::strtod(argv[i] + 21, nullptr);
     }
   }
   if (threads == 0) threads = 4;
@@ -465,6 +498,16 @@ int main(int argc, char** argv) {
               serial_pps);
   std::printf("sharded: %7.2fs  %12.0f packets/sec  (%.2fx, %zu threads)\n",
               sharded_wall, sharded_pps, speedup, threads);
+  const double committed_pps =
+      baseline_path.empty() ? 0.0 : baseline_serial_pps(baseline_path);
+  if (committed_pps > 0.0) {
+    std::printf("vs committed baseline (%s): %.2fx serial packets/sec\n",
+                baseline_path.c_str(), serial_pps / committed_pps);
+  } else if (!baseline_path.empty()) {
+    std::printf("baseline %s: no serial packets/sec found, comparison "
+                "skipped\n",
+                baseline_path.c_str());
+  }
   std::printf("residency (largest scenario, %llu packets): upfront peak "
               "%llu pkts / %llu event slots -> streaming peak %llu pkts / "
               "%llu event slots (%.4fx)\n",
@@ -659,6 +702,18 @@ int main(int argc, char** argv) {
                 "threads — a wall-clock speedup is not physically "
                 "measurable here\n",
                 hw, threads);
+  }
+  // Perf smoke vs the committed heap-kernel baseline: catches an event-
+  // kernel (or other hot-path) swap that tanks end-to-end replay. The
+  // ratio is loose because the committed numbers came from one machine;
+  // the tight kernel bars live in bench_micro_queues where both kernels
+  // run in the same binary.
+  if (committed_pps > 0.0 && serial_pps < min_baseline_ratio * committed_pps) {
+    std::fprintf(stderr,
+                 "FAIL: serial %.0f packets/sec < %.2f x committed baseline "
+                 "%.0f — event-kernel or replay hot-path regression\n",
+                 serial_pps, min_baseline_ratio, committed_pps);
+    ++failures;
   }
   if (failures == 0) {
     std::printf("all macro-replay gates passed\n");

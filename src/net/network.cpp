@@ -48,6 +48,43 @@ void network::build() {
     make_port(l.a, l.b, l.rate, l.delay);
     make_port(l.b, l.a, l.rate, l.delay);
   }
+
+  // Topology is final: flatten routing into the dense table. Router-only
+  // graph, host links excluded, so paths are router sequences.
+  router_index_.assign(nodes_.size(), -1);
+  for (const auto& n : nodes_) {
+    if (n.kind == node_kind::router) {
+      router_index_[n.id] = static_cast<std::int32_t>(router_count_++);
+    }
+  }
+  std::vector<std::vector<routing_edge>> graph(nodes_.size());
+  for (const auto& p : ports_) {
+    if (nodes_[p->from()].kind == node_kind::router &&
+        nodes_[p->to()].kind == node_kind::router) {
+      graph[p->from()].push_back(routing_edge{p->to(), p->prop_delay() + 1});
+    }
+  }
+  route_table_.assign(router_count_ * router_count_, {});
+  // Only routers with an attached host can originate a route lookup; one
+  // Dijkstra tree fills each such router's whole row. Hosts with a
+  // malformed uplink count are skipped here and still fail at lookup
+  // (attachment() throws), exactly as the lazy cache did.
+  std::vector<bool> row_done(router_count_, false);
+  for (const auto& n : nodes_) {
+    if (n.kind != node_kind::host || out_ports_[n.id].size() != 1) continue;
+    const node_id r0 = out_ports_[n.id].front().first;
+    if (nodes_[r0].kind != node_kind::router) continue;
+    const auto row = static_cast<std::size_t>(router_index_[r0]);
+    if (row_done[row]) continue;
+    row_done[row] = true;
+    const auto prev = shortest_path_tree(graph, r0);
+    for (const auto& m : nodes_) {
+      if (m.kind != node_kind::router) continue;
+      route_table_[row * router_count_ +
+                   static_cast<std::size_t>(router_index_[m.id])] =
+          path_from_tree(prev, r0, m.id);
+    }
+  }
 }
 
 port& network::port_between(node_id from, node_id to) {
@@ -72,30 +109,20 @@ node_id network::attachment(node_id host) const {
 }
 
 const std::vector<node_id>& network::route(node_id src_host,
-                                           node_id dst_host) {
-  const std::uint64_t key =
-      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src_host))
-       << 32) |
-      static_cast<std::uint32_t>(dst_host);
-  auto it = route_cache_.find(key);
-  if (it != route_cache_.end()) return it->second;
-
-  if (routing_graph_.empty()) {
-    // Router-only graph; host links excluded so paths are router sequences.
-    routing_graph_.resize(nodes_.size());
-    for (const auto& p : ports_) {
-      if (nodes_[p->from()].kind == node_kind::router &&
-          nodes_[p->to()].kind == node_kind::router) {
-        routing_graph_[p->from()].push_back(
-            routing_edge{p->to(), p->prop_delay() + 1});
-      }
-    }
-  }
+                                           node_id dst_host) const {
   const node_id r0 = attachment(src_host);
   const node_id r1 = attachment(dst_host);
-  auto path = shortest_path(routing_graph_, r0, r1);
+  // A host "attached" to another host has no router row; the lazy cache
+  // reported that as unroutable too.
+  if (router_index_[r0] < 0 || router_index_[r1] < 0) {
+    throw std::runtime_error("network: no route");
+  }
+  const auto& path =
+      route_table_[static_cast<std::size_t>(router_index_[r0]) *
+                       router_count_ +
+                   static_cast<std::size_t>(router_index_[r1])];
   if (path.empty()) throw std::runtime_error("network: no route");
-  return route_cache_.emplace(key, std::move(path)).first->second;
+  return path;
 }
 
 sim::time_ps network::tmin(const packet& p, std::size_t from_hop) const {

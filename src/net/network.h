@@ -11,7 +11,6 @@
 #include <functional>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "net/node.h"
@@ -103,8 +102,10 @@ class network {
 
   // Router-level shortest path between the routers serving two hosts
   // (weight = propagation delay + 1ps per hop; deterministic tie-breaks).
+  // Backed by a dense per-topology (src-router, dst-router) table filled at
+  // build(): per-flow lookup is two array indexes, no hashing.
   [[nodiscard]] const std::vector<node_id>& route(node_id src_host,
-                                                  node_id dst_host);
+                                                  node_id dst_host) const;
 
   // Minimum remaining network traversal time for p from path[from_hop] to
   // egress: per-hop transmission plus inter-router propagation (Appendix A's
@@ -153,8 +154,14 @@ class network {
   bool preemption_ = false;
   bool built_ = false;
 
-  std::unordered_map<std::uint64_t, std::vector<node_id>> route_cache_;
-  std::vector<std::vector<routing_edge>> routing_graph_;
+  // Dense route table replacing the old hashed (src,dst) cache: one row per
+  // router with an attached host (the only possible route sources), filled
+  // at build() from one Dijkstra tree each. route_table_[router_index_[r0]
+  // * router_count_ + router_index_[r1]] is the r0->r1 router path; empty
+  // means unreachable (or an uncomputed non-edge row).
+  std::vector<std::int32_t> router_index_;  // node_id -> dense router index
+  std::size_t router_count_ = 0;
+  std::vector<std::vector<node_id>> route_table_;
   std::vector<std::function<void(packet_ptr)>> host_handlers_;
 
   // in-flight packet arena (packets on the wire between ports)

@@ -6,8 +6,7 @@
 
 namespace ups::net {
 
-std::vector<node_id> shortest_path(const routing_graph& g, node_id s,
-                                   node_id t) {
+std::vector<node_id> shortest_path_tree(const routing_graph& g, node_id s) {
   const auto n = static_cast<node_id>(g.size());
   constexpr sim::time_ps inf = std::numeric_limits<sim::time_ps>::max();
   std::vector<sim::time_ps> dist(n, inf);
@@ -30,7 +29,13 @@ std::vector<node_id> shortest_path(const routing_graph& g, node_id s,
       }
     }
   }
-  if (dist[t] == inf) return {};
+  // Unreachable nodes keep prev == kInvalidNode; so does s (dist 0, no
+  // predecessor) — path_from_tree treats s specially.
+  return prev;
+}
+
+std::vector<node_id> path_from_tree(const std::vector<node_id>& prev,
+                                    node_id s, node_id t) {
   std::vector<node_id> path;
   for (node_id v = t; v != kInvalidNode; v = prev[v]) {
     path.push_back(v);
@@ -39,6 +44,11 @@ std::vector<node_id> shortest_path(const routing_graph& g, node_id s,
   std::reverse(path.begin(), path.end());
   if (path.front() != s) return {};
   return path;
+}
+
+std::vector<node_id> shortest_path(const routing_graph& g, node_id s,
+                                   node_id t) {
+  return path_from_tree(shortest_path_tree(g, s), s, t);
 }
 
 }  // namespace ups::net

@@ -21,4 +21,17 @@ using routing_graph = std::vector<std::vector<routing_edge>>;
 [[nodiscard]] std::vector<node_id> shortest_path(const routing_graph& g,
                                                  node_id s, node_id t);
 
+// Single-source shortest-path tree from s: prev[v] is v's predecessor on
+// the (deterministically tie-broken, identical to shortest_path) shortest
+// path from s, kInvalidNode when v is unreachable (and for s itself).
+// network::build() uses this to fill one dense route-table row per Dijkstra
+// instead of one pair per run.
+[[nodiscard]] std::vector<node_id> shortest_path_tree(const routing_graph& g,
+                                                      node_id s);
+
+// Extracts the s->t path (inclusive) from a shortest_path_tree(g, s) result;
+// empty when t is unreachable from s.
+[[nodiscard]] std::vector<node_id> path_from_tree(
+    const std::vector<node_id>& prev, node_id s, node_id t);
+
 }  // namespace ups::net

@@ -1,22 +1,42 @@
 // Discrete-event simulation kernel.
 //
 // A single-threaded event loop over a slab of reusable event slots addressed
-// by generation-stamped handles, ordered by a 4-ary heap of flat
-// (time, phase, sequence) keys. Events scheduled for the same instant run in
-// scheduling order, which keeps every simulation deterministic. Steady-state
-// scheduling is allocation-free: slots are recycled through a freelist, the
-// heap reuses its backing array, and callbacks are stored inline in the slot
-// (see sim/callback.h).
+// by generation-stamped handles, ordered by a hierarchical timing wheel of
+// flat (time, phase, sequence) keys. Schedule and dispatch are O(1) amortized
+// at any pending-set depth: an event lands in a power-of-two picosecond
+// bucket chosen by the position of the highest bit in which its timestamp
+// differs from the wheel clock, cascades toward level 0 as time advances
+// (at most once per level), and far-future events beyond the wheel span park
+// in an overflow 4-ary heap that is migrated into the wheel lazily.
+//
+// Level-0 buckets are one picosecond wide, so every event in a bucket shares
+// an exact timestamp: dispatch pulls the whole bucket as one batched
+// same-instant run, sorts it once by (phase, sequence), and pops entries with
+// no further ordering work — run_instant() exposes the batch directly,
+// mirroring trace_cursor::next_run. Events scheduled *for* the instant being
+// dispatched insert into the live run at their (phase, sequence) position,
+// which keeps the dispatch order byte-identical to a global (time, phase,
+// sequence) priority queue (the previous 4-ary heap kernel survives as
+// sim/heap_kernel.h and a fuzz suite asserts the equivalence).
+//
+// Events scheduled for the same instant run in scheduling order, which keeps
+// every simulation deterministic. Steady-state scheduling is allocation-free:
+// slots are recycled through a freelist, buckets and the ready run reuse
+// their backing arrays, and callbacks are stored inline in the slot (see
+// sim/callback.h).
 //
 // Cancellation marks the slot and drops the callback immediately; the dead
-// heap entry is discarded when it surfaces. A live-event counter keeps
-// empty()/pending() exact, and the slot's generation stamp makes cancelling
-// an already-run (or already-cancelled) handle a structural no-op — stale
-// handles can never corrupt accounting or leak, by construction.
+// wheel entry is discarded when its bucket is dispatched or cascaded. A
+// live-event counter keeps empty()/pending() exact, and the slot's
+// generation stamp makes cancelling an already-run (or already-cancelled)
+// handle a structural no-op — stale handles can never corrupt accounting or
+// leak, by construction.
 #pragma once
 
+#include <array>
 #include <cassert>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "sim/callback.h"
@@ -38,7 +58,7 @@ class simulator {
     [[nodiscard]] bool valid() const noexcept { return id != 0; }
   };
 
-  simulator() = default;
+  simulator() { bucket_head_.fill(kNilSlot); }
   simulator(const simulator&) = delete;
   simulator& operator=(const simulator&) = delete;
 
@@ -48,8 +68,12 @@ class simulator {
     return schedule(t, kPhaseNormal, std::move(cb));
   }
 
+  // Relative scheduling. now + dt saturates to the latest representable
+  // instant instead of overflowing: an effectively-infinite relative timer
+  // (e.g. an idle TCP retransmit clock at WAN scale) parks at the end of
+  // time — still cancellable, never wrapping into the past.
   handle schedule_in(time_ps dt, callback cb) {
-    return schedule(now_ + dt, kPhaseNormal, std::move(cb));
+    return schedule(future_time(now_, dt), kPhaseNormal, std::move(cb));
   }
 
   // Runs before every normal event with the same timestamp, regardless of
@@ -77,34 +101,41 @@ class simulator {
   void cancel(handle h);
 
   // Runs the next pending event; returns false if the queue is empty.
-  // Defined inline: this is the innermost loop of every experiment.
+  // Defined inline: this is the innermost loop of every experiment. The
+  // fast path is a bump of the ready-run cursor; the wheel is only touched
+  // when the current instant's batch is exhausted.
   bool run_next() {
     for (;;) {
-      if (heap_.empty()) return false;
-      const heap_entry top = heap_[0];
-      event_slot& s = slots_[top.slot];
+      if (ready_pos_ >= ready_.size() && !refill_ready(kNoLimit)) {
+        return false;
+      }
+      const wheel_entry e = ready_[ready_pos_++];
+      event_slot& s = slots_[e.slot];
       if (s.cancelled) {
-        heap_pop_top();
-        retire(top.slot);
+        retire(e.slot);
         continue;
       }
-      // Heap-order sanity: a bug in heap_push/heap_pop_top must not be able
-      // to silently move simulation time backwards.
-      assert(top.at >= now_);
-      now_ = top.at;
+      assert(e.at >= now_);
+      now_ = e.at;
       ++processed_;
       --live_;
       // Detach the callback and retire the slot *before* invoking, so the
       // callback can freely schedule (possibly into this slot) or cancel.
       callback cb = std::move(s.cb);
-      heap_pop_top();
-      retire(top.slot);
+      retire(e.slot);
       cb();
       return true;
     }
   }
 
-  // Runs until the event queue drains.
+  // Drains one whole same-instant bucket as a single batched dispatch run —
+  // every event at the next pending instant, including events those
+  // callbacks chain-schedule for the same instant (they join the live run
+  // at their phase/sequence position). Returns the number of events run;
+  // 0 means the queue is empty.
+  std::size_t run_instant();
+
+  // Runs until the event queue drains, one batched instant at a time.
   void run();
 
   // Runs events with timestamp <= t, then advances the clock to t.
@@ -130,89 +161,94 @@ class simulator {
   static constexpr std::uint8_t kPhaseNormal = 1;
   static constexpr std::uint8_t kPhaseLate = 2;
 
+  // Wheel geometry: 6 levels of 256 slots. Level l slots are 2^(8l) ps
+  // wide, so the wheel spans 2^48 ps (~4.7 simulated minutes) ahead of its
+  // clock; anything beyond parks in the overflow heap. Wide levels keep
+  // cascades rare (an event placed at level l cascades at most l times, and
+  // microsecond-scale timers sit at level 1-2), and a level's occupancy is
+  // a 4-word bitmap — "next occupied bucket" is a handful of
+  // count-trailing-zeros, never a scan of empty slots.
+  static constexpr int kWheelBits = 8;
+  static constexpr int kWheelSlots = 1 << kWheelBits;
+  static constexpr int kWheelLevels = 6;
+  static constexpr int kBitmapWords = kWheelSlots / 64;
+  static constexpr std::uint32_t kNilSlot = 0xffffffffu;
+  static constexpr time_ps kNoLimit = std::numeric_limits<time_ps>::max();
+
+  // Wheel linkage lives inside the slot: a pending event is exactly one
+  // bucket-list node (or one overflow-heap entry), so bucket storage never
+  // allocates — a schedule threads the slot onto its bucket's list head.
+  // The wheel-walk fields lead the struct so a cascade touches one cache
+  // line per slot; the fat callback is only read at dispatch.
   struct event_slot {
-    callback cb;
-    std::uint64_t generation = 0;  // kept within kGenMask; see handle
-    bool queued = false;     // owned by the heap (live or awaiting purge)
+    time_ps at = 0;            // absolute timestamp while queued
+    std::uint64_t order = 0;   // (phase << 62) | seq while queued
+    std::uint64_t generation = 0;   // kept within kGenMask; see handle
+    std::uint32_t next = kNilSlot;  // bucket chain link
+    bool queued = false;     // owned by the wheel (live or awaiting purge)
     bool cancelled = false;  // dead entry: discard when it surfaces
+    callback cb;
   };
 
-  // Flat sort key: comparisons never touch the slot slab. `order` packs
-  // (phase << 62) | seq — phase (2 bits: early/normal/late) dominates, then
-  // scheduling order; seq is a process-lifetime counter and cannot reach
-  // 2^62.
-  struct heap_entry {
+  // Flat sort key for the ready run and the overflow heap: comparisons
+  // never touch the slot slab. `order` packs (phase << 62) | seq — phase
+  // (2 bits: early/normal/late) dominates, then scheduling order; seq is a
+  // process-lifetime counter and cannot reach 2^62.
+  struct wheel_entry {
     time_ps at;
     std::uint64_t order;
     std::uint32_t slot;
   };
-  [[nodiscard]] static bool before(const heap_entry& a,
-                                   const heap_entry& b) noexcept {
+  [[nodiscard]] static bool before(const wheel_entry& a,
+                                   const wheel_entry& b) noexcept {
     if (a.at != b.at) return a.at < b.at;
     return a.order < b.order;
   }
 
-  static constexpr std::size_t kArity = 4;  // 4-ary heap: half the levels
+  static constexpr std::size_t kArity = 4;  // overflow heap: half the levels
 
-  handle schedule(time_ps t, std::uint8_t phase, callback cb) {
-    if (t < now_) {
-      throw_past_schedule();
+  [[nodiscard]] static time_ps future_time(time_ps now, time_ps dt) noexcept {
+    if (dt > 0 && now > std::numeric_limits<time_ps>::max() - dt) {
+      return std::numeric_limits<time_ps>::max();
     }
-    std::uint32_t slot;
-    if (!free_slots_.empty()) {
-      slot = free_slots_.back();
-      free_slots_.pop_back();
-    } else {
-      if (slots_.size() >= kSlotMask) {
-        throw_slab_exhausted();
-      }
-      slot = static_cast<std::uint32_t>(slots_.size());
-      slots_.emplace_back();
-    }
-    event_slot& s = slots_[slot];
-    s.cb = std::move(cb);
-    s.queued = true;
-    s.cancelled = false;
-    const std::uint64_t order =
-        (static_cast<std::uint64_t>(phase) << 62) | next_seq_++;
-    heap_push(heap_entry{t, order, slot});
-    ++live_;
-    return handle{(s.generation << kSlotBits) |
-                  (static_cast<std::uint64_t>(slot) + 1)};
+    return now + dt;
   }
 
-  void heap_push(heap_entry e) {
-    std::size_t pos = heap_.size();
-    heap_.push_back(e);
-    while (pos > 0) {
-      const std::size_t up = (pos - 1) / kArity;
-      if (!before(e, heap_[up])) break;
-      heap_[pos] = heap_[up];
-      pos = up;
-    }
-    heap_[pos] = e;
+  handle schedule(time_ps t, std::uint8_t phase, callback cb);
+
+  [[nodiscard]] bool ready_active() const noexcept {
+    return ready_pos_ < ready_.size();
   }
 
-  void heap_pop_top() {
-    const heap_entry filler = heap_.back();
-    heap_.pop_back();
-    const std::size_t n = heap_.size();
-    if (n == 0) return;
-    std::size_t pos = 0;
-    for (;;) {
-      const std::size_t first = pos * kArity + 1;
-      if (first >= n) break;
-      const std::size_t last = first + kArity < n ? first + kArity : n;
-      std::size_t best = first;
-      for (std::size_t c = first + 1; c < last; ++c) {
-        if (before(heap_[c], heap_[best])) best = c;
-      }
-      if (!before(heap_[best], filler)) break;
-      heap_[pos] = heap_[best];
-      pos = best;
-    }
-    heap_[pos] = filler;
-  }
+  // Wheel level for an event at absolute time t relative to the wheel clock
+  // cur_ (requires t >= cur_): the level containing the highest bit in
+  // which t and cur_ differ. >= kWheelLevels means overflow.
+  [[nodiscard]] int level_for(time_ps t) const noexcept;
+
+  // Files a queued slot (at/order already stamped) into its wheel bucket or
+  // the overflow heap.
+  void place(std::uint32_t slot);
+
+  // First occupied bucket index >= `from` at `level`, or -1.
+  [[nodiscard]] int first_occupied(int level, int from) const noexcept;
+  void clear_occupied(int level, int idx) noexcept;
+
+  // Pulls overflow events that now fit inside the wheel span.
+  void migrate_overflow();
+
+  // Materializes the next pending instant's run into ready_ (sorted by
+  // order), advancing the wheel clock and cascading upper levels as needed.
+  // Never advances the wheel clock past `limit`; returns false — with the
+  // clock <= limit and ready_ empty — when no event at time <= limit
+  // exists. Cancelled entries encountered along the way are retired.
+  bool refill_ready(time_ps limit);
+
+  // Drains the current ready run (all events share ready_time_); returns
+  // the number of events actually run.
+  std::size_t run_ready_run();
+
+  void overflow_push(wheel_entry e);
+  void overflow_pop_top();
 
   // Retires a slot: bumps the generation (invalidating outstanding handles)
   // and pushes it onto the freelist.
@@ -224,8 +260,6 @@ class simulator {
     free_slots_.push_back(slot);
   }
 
-  // Discards cancelled entries sitting on top of the heap.
-  void purge_cancelled_top();
   [[noreturn]] static void throw_past_schedule();
   [[noreturn]] static void throw_slab_exhausted();
 
@@ -235,7 +269,22 @@ class simulator {
   std::size_t live_ = 0;  // scheduled and not yet run or cancelled
   std::vector<event_slot> slots_;
   std::vector<std::uint32_t> free_slots_;
-  std::vector<heap_entry> heap_;  // 4-ary min-heap
+
+  // Wheel clock: lower bound on the time of every event stored in the wheel
+  // (<= now_ whenever user code runs; advances bucket-to-bucket during
+  // refill_ready). Bucket membership is relative to this clock.
+  time_ps cur_ = 0;
+  // Buckets are intrusive lists of slot indices (event_slot::next).
+  std::array<std::uint32_t, kWheelLevels * kWheelSlots> bucket_head_;
+  std::array<std::uint64_t, kWheelLevels * kBitmapWords> occupied_{};
+  std::vector<wheel_entry> overflow_;  // 4-ary min-heap, beyond wheel span
+
+  // The current same-instant dispatch run: entries at ready_time_, sorted
+  // ascending by order; ready_pos_ is the next entry to dispatch. Active
+  // iff ready_pos_ < ready_.size(), and then ready_time_ == now_.
+  std::vector<wheel_entry> ready_;
+  std::size_t ready_pos_ = 0;
+  time_ps ready_time_ = 0;
 };
 
 }  // namespace ups::sim

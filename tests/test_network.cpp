@@ -9,6 +9,8 @@
 #include "net/trace.h"
 #include "sim/simulator.h"
 #include "topo/basic.h"
+#include "topo/fattree.h"
+#include "topo/internet2.h"
 #include "topo/topology.h"
 
 namespace ups::net {
@@ -233,6 +235,51 @@ TEST(network, infinite_rate_port_transmits_instantly) {
                                    125));
   f.sim.run();
   EXPECT_EQ(egress, 0);
+}
+
+// Differential test for the dense route table: the table filled at build()
+// must reproduce, for every host pair, exactly what the old lazy cache
+// computed — a fresh shortest_path over the router-only graph (weight =
+// propagation delay + 1ps) between the two attachment routers.
+void expect_routes_match_reference(topo::topology t, std::size_t stride = 1) {
+  fixture f(std::move(t));
+  routing_graph g(f.net.node_count());
+  for (const auto& p : f.net.ports()) {
+    if (f.net.is_router(p->from()) && f.net.is_router(p->to())) {
+      g[p->from()].push_back(routing_edge{p->to(), p->prop_delay() + 1});
+    }
+  }
+  for (std::size_t i = 0; i < f.topo.host_count(); i += stride) {
+    for (std::size_t j = 0; j < f.topo.host_count(); j += stride) {
+      const auto hi = f.topo.host_id(i);
+      const auto hj = f.topo.host_id(j);
+      const auto expected =
+          shortest_path(g, f.net.attachment(hi), f.net.attachment(hj));
+      ASSERT_FALSE(expected.empty());
+      EXPECT_EQ(f.net.route(hi, hj), expected)
+          << f.topo.name << " host " << i << " -> " << j;
+    }
+  }
+}
+
+TEST(network, route_table_matches_lazy_reference_line) {
+  expect_routes_match_reference(
+      topo::line(4, sim::kGbps, sim::kMicrosecond, 6));
+}
+
+TEST(network, route_table_matches_lazy_reference_parking_lot) {
+  expect_routes_match_reference(
+      topo::parking_lot(5, sim::kGbps, sim::kMicrosecond));
+}
+
+TEST(network, route_table_matches_lazy_reference_internet2) {
+  expect_routes_match_reference(topo::internet2());
+}
+
+TEST(network, route_table_matches_lazy_reference_fattree) {
+  // 128 hosts: a strided sample still covers intra-edge, intra-pod and
+  // cross-pod pairs while keeping the reference Dijkstras cheap.
+  expect_routes_match_reference(topo::fattree(), /*stride=*/5);
 }
 
 }  // namespace
