@@ -7,13 +7,33 @@
 // per-mode overdue fractions, and a peak-residency proxy comparing
 // streaming vs up-front injection on the largest scenario.
 //
-// A disk-replay lane measures the v2 binary trace format against v1 text:
-// the largest scenario's trace is written in both formats, drained through
-// both readers (ingestion packets/sec and MB/s — the number that bounds
-// how large a workload the replay framework can evaluate), and replayed
-// end-to-end from both files across every mode, serial and sharded (every
-// sharded worker mmaps the same v2 file read-only; the OS shares one
-// physical copy).
+// A disk-replay lane measures the binary trace formats against v1 text:
+// the largest scenario's trace is written in all three formats (v1 text,
+// v2 fixed-record binary, v3 delta-varint blocks), drained through every
+// reader (ingestion packets/sec and MB/s — the number that bounds how
+// large a workload the replay framework can evaluate), and replayed
+// end-to-end from every file across every mode, serial and sharded (every
+// sharded worker mmaps the same binary file read-only; the OS shares one
+// physical copy). The v3 cursor additionally runs an allocation probe (a
+// warmed block decode must run allocation-free — counted with a global
+// operator-new hook, gated at zero) and a block-seek walk (every block
+// visited out of order through the leading index with MADV_RANDOM advice;
+// the fold must equal the sequential drain's).
+//
+// A WAN-bytes lane records an Internet2 trace with per-hop data and writes
+// it in all three formats: bytes/packet per format is the compression
+// trajectory, and v3 must come in at or under --max-v3-bytes-ratio
+// (default 0.75) of v2 — the headline claim of the block format.
+//
+// A RocketFuel lane sweeps the mixed workload (incast epochs over a
+// closed-loop background) across fan-in degree {8,16,32} x outstanding
+// window {4,16,64} on the RocketFuel WAN topology — original record +
+// LSTF replay throughput, overdue fractions, and residency per cell. With
+// --rf-packets=N it additionally builds an N-packet v3 trace by tiling a
+// recorded mixed base along the time axis (disjoint packet/flow ids per
+// tile, O(1 block) writer memory), writes the identical trace as v2, and
+// measures bytes, ingest, and end-to-end LSTF replay at a scale that only
+// fits because of the disk formats (N=1e8 is the headline run).
 //
 // A workload lane sweeps the traffic-source kinds {open-loop, paced,
 // closed-loop, incast} over the WAN scenario at 70% utilization, recording
@@ -47,13 +67,29 @@
 //   residency     streaming peak packet-pool residency on the largest
 //                 scenario <= --max-residency × the up-front peak — the
 //                 O(in-flight) vs O(trace) claim, measured, not assumed
-//   disk identity replaying the v2 binary must produce byte-identical
-//                 results to the v1 text path for every replay mode,
-//                 serial and sharded — always on
+//   disk identity replaying the v2 and v3 binaries must produce
+//                 byte-identical results to the v1 text path for every
+//                 replay mode, serial and sharded — always on
 //   disk speedup  binary (mmap) replay ingestion >= --min-disk-speedup ×
 //                 the text reader's packets/sec (default 3x) — always on:
 //                 ingestion is single-threaded I/O work, measurable even on
 //                 a 1-core box
+//   v3 ingest     cold-cache (disk-lane) v3 ingestion >=
+//                 --min-v3-ingest-ratio × the v2 cursor's cold packets/sec
+//                 (default 1.0). Both files are evicted from page cache
+//                 (fsync + POSIX_FADV_DONTNEED) before their drains, so
+//                 the measurement is the regime the block format targets:
+//                 bytes off storage dominate and the ~3x smaller v3 file
+//                 must be the faster ingest path. The warm-cache decode
+//                 ratio is reported alongside but not gated (a varint
+//                 column decode cannot beat fixed-offset loads from hot
+//                 cache). SKIPs where eviction is unavailable.
+//   v3 bytes      WAN-trace v3 bytes/packet <= --max-v3-bytes-ratio × v2
+//                 (default 0.75)
+//   v3 allocs     a warmed v3 cursor decodes the whole file with zero
+//                 heap allocations — always on
+//   v3 seek       the out-of-order block-seek walk folds to the same
+//                 checksum as the sequential drain — always on
 //
 //   baseline      with --baseline=FILE (a committed heap-kernel-era
 //                 BENCH_macro_replay.json from bench/baselines/), serial
@@ -70,14 +106,24 @@
 //                           [--max-workload-residency=F]
 //                           [--max-workload-plateau=F]
 //                           [--baseline=FILE] [--min-baseline-ratio=X]
+//                           [--max-v3-bytes-ratio=X]
+//                           [--min-v3-ingest-ratio=X] [--rf-packets=N]
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+
+#if defined(__unix__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iterator>
+#include <new>
 #include <string>
 #include <thread>
 #include <vector>
@@ -86,6 +132,33 @@
 #include "exp/replay_shard_runner.h"
 #include "net/trace_binary.h"
 #include "net/trace_io.h"
+
+// Global operator-new hook for the v3 zero-allocation gate: counts every
+// scalar/array heap allocation in the process. The count is only *read*
+// around the probe's steady-state window, so the hook stays trivial (one
+// relaxed fetch_add) and the rest of the bench is unaffected.
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+}  // namespace
+
+// noinline: when these bodies inline into callers GCC pairs the visible
+// std::free with the library's operator new declaration and emits a
+// spurious -Wmismatched-new-delete; out-of-line they pair as replaced
+// global operators, which is what they are.
+__attribute__((noinline)) void* operator new(std::size_t n) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+__attribute__((noinline)) void operator delete(void* p) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p) noexcept { ::operator delete(p); }
+void operator delete(void* p, std::size_t) noexcept { ::operator delete(p); }
+void operator delete[](void* p, std::size_t) noexcept {
+  ::operator delete(p);
+}
 
 namespace {
 
@@ -162,6 +235,24 @@ ingest_stats drain(net::trace_cursor& cur) {
   return is ? static_cast<std::uint64_t>(is.tellg()) : 0;
 }
 
+// Evicts a file's pages from the page cache (flush dirty pages first, then
+// POSIX_FADV_DONTNEED) so the next open measures disk-lane ingest — the
+// regime the v3 format targets — rather than a warm-cache re-decode.
+// Returns false where the advice is unavailable; cold lanes then SKIP.
+[[nodiscard]] bool drop_page_cache(const std::string& path) {
+#if defined(__unix__) && defined(POSIX_FADV_DONTNEED)
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  ::fsync(fd);
+  const bool ok = ::posix_fadvise(fd, 0, 0, POSIX_FADV_DONTNEED) == 0;
+  ::close(fd);
+  return ok;
+#else
+  (void)path;
+  return false;
+#endif
+}
+
 // Pulls the committed baseline's serial packets/sec out of a
 // BENCH_macro_replay.json: the number after "packets_per_sec": inside the
 // "serial" object. Returns 0 when absent/unparseable.
@@ -178,6 +269,49 @@ ingest_stats drain(net::trace_cursor& cur) {
   return std::strtod(text.c_str() + pp + std::strlen(key), nullptr);
 }
 
+// Streams `target` records into `writer` by tiling `base` (ingress-sorted)
+// along the time axis: tile k shifts every timestamp by k periods (one
+// period > the base's last ingress, so ingress order holds across the
+// seam) and offsets packet/flow ids so every tile's id ranges are
+// disjoint. One record is resident at a time; its vectors' capacities
+// persist across iterations, so the loop itself is allocation-free after
+// the first tile.
+template <typename Writer>
+std::uint64_t write_tiled(Writer& writer, const net::trace& base,
+                          std::uint64_t target) {
+  const auto& b = base.packets;
+  const sim::time_ps last = b.back().ingress_time;
+  const sim::time_ps gap =
+      (last - b.front().ingress_time) /
+          static_cast<sim::time_ps>(b.size()) +
+      1;
+  const sim::time_ps period = last + gap;
+  std::uint64_t max_id = 0;
+  std::uint64_t max_flow = 0;
+  for (const auto& r : b) {
+    max_id = std::max(max_id, r.id);
+    max_flow = std::max(max_flow, r.flow_id);
+  }
+  std::uint64_t written = 0;
+  net::packet_record rec;
+  for (std::uint64_t k = 0; written < target; ++k) {
+    const sim::time_ps shift = static_cast<sim::time_ps>(k) * period;
+    for (const auto& r : b) {
+      if (written == target) break;
+      rec = r;
+      rec.id += k * max_id;
+      rec.flow_id += k * max_flow;
+      rec.ingress_time += shift;
+      rec.egress_time += shift;
+      for (auto& d : rec.hop_departs) d += shift;
+      writer.append(rec);
+      ++written;
+    }
+  }
+  writer.finish();
+  return written;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -191,6 +325,9 @@ int main(int argc, char** argv) {
   double max_workload_plateau = 1.1;
   std::string baseline_path;
   double min_baseline_ratio = 0.25;
+  double max_v3_bytes_ratio = 0.75;
+  double min_v3_ingest_ratio = 1.0;
+  std::uint64_t rf_packets = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       threads = std::strtoull(argv[i] + 10, nullptr, 10);
@@ -210,6 +347,12 @@ int main(int argc, char** argv) {
       baseline_path = argv[i] + 11;
     } else if (std::strncmp(argv[i], "--min-baseline-ratio=", 21) == 0) {
       min_baseline_ratio = std::strtod(argv[i] + 21, nullptr);
+    } else if (std::strncmp(argv[i], "--max-v3-bytes-ratio=", 21) == 0) {
+      max_v3_bytes_ratio = std::strtod(argv[i] + 21, nullptr);
+    } else if (std::strncmp(argv[i], "--min-v3-ingest-ratio=", 22) == 0) {
+      min_v3_ingest_ratio = std::strtod(argv[i] + 22, nullptr);
+    } else if (std::strncmp(argv[i], "--rf-packets=", 13) == 0) {
+      rf_packets = std::strtoull(argv[i] + 13, nullptr, 10);
     }
   }
   if (threads == 0) threads = 4;
@@ -387,40 +530,110 @@ int main(int argc, char** argv) {
   net::sort_by_ingress(orig_big.trace);
   const std::string v1_path = "bench_macro_disk.v1.trace";
   const std::string v2_path = "bench_macro_disk.v2.trace";
+  const std::string v3_path = "bench_macro_disk.v3.trace";
   net::save_trace(v1_path, orig_big.trace);
   net::save_trace_v2(v2_path, orig_big.trace);
+  net::save_trace_v3(v3_path, orig_big.trace);
   const std::uint64_t v1_bytes = file_bytes(v1_path);
   const std::uint64_t v2_bytes = file_bytes(v2_path);
+  const std::uint64_t v3_bytes = file_bytes(v3_path);
 
   // Ingestion: drain each reader with no simulation attached — the cost the
   // format itself imposes on replay, and the disk-speedup gate's metric
   // (parse throughput is deterministic single-threaded work; end-to-end
-  // replay adds identical simulation cost to both lanes and dilutes the
+  // replay adds identical simulation cost to every lane and dilutes the
   // format difference).
-  ingest_stats text_ingest, bin_ingest;
+  ingest_stats text_ingest, bin_ingest, v3_ingest;
   {
     net::trace_stream_reader reader(v1_path);
     text_ingest = drain(reader);
     net::trace_mmap_cursor cursor(v2_path);
     bin_ingest = drain(cursor);
+    net::trace_v3_cursor v3cur(v3_path);
+    v3_ingest = drain(v3cur);
   }
   if (text_ingest.checksum != bin_ingest.checksum ||
-      text_ingest.records != bin_ingest.records) {
-    std::fprintf(stderr, "FAIL: text and binary readers disagree on the "
-                         "same trace's contents\n");
+      text_ingest.records != bin_ingest.records ||
+      text_ingest.checksum != v3_ingest.checksum ||
+      text_ingest.records != v3_ingest.records) {
+    std::fprintf(stderr, "FAIL: text/v2/v3 readers disagree on the same "
+                         "trace's contents\n");
     std::remove(v1_path.c_str());
     std::remove(v2_path.c_str());
+    std::remove(v3_path.c_str());
     return 1;
   }
   const double text_ingest_pps =
       static_cast<double>(text_ingest.records) / text_ingest.wall_seconds;
   const double bin_ingest_pps =
       static_cast<double>(bin_ingest.records) / bin_ingest.wall_seconds;
+  const double v3_ingest_pps =
+      static_cast<double>(v3_ingest.records) / v3_ingest.wall_seconds;
   const double disk_speedup = bin_ingest_pps / text_ingest_pps;
+  const double v3_ingest_ratio = v3_ingest_pps / bin_ingest_pps;
 
-  // End-to-end disk replay across every mode: text serial, binary serial,
-  // binary sharded (each worker mmaps the same file; the kernel shares one
-  // read-only copy). All three must be byte-identical.
+  // Cold-cache (disk-lane) ingest is measured on the RocketFuel tiled
+  // lane below: its files are large enough (tens of MB up to GBs) that an
+  // evicted open+drain actually measures storage, whereas this lane's
+  // sub-MB files re-warm during the cursor open's readahead.
+
+  // Allocation probe: after one warming pass (the SoA scratch and record
+  // slots reach their high-water capacities), a full re-decode of the file
+  // must perform zero heap allocations — the v3 cursor's steady-state
+  // contract, counted by the global operator-new hook.
+  std::uint64_t v3_steady_allocs = 0;
+  {
+    net::trace_v3_cursor cur(v3_path);
+    std::vector<const net::packet_record*> run;
+    const auto drain_once = [&run](net::trace_v3_cursor& c) {
+      std::uint64_t fold = 0;
+      for (;;) {
+        run.clear();
+        if (c.next_run(run) == 0) break;
+        for (const net::packet_record* r : run) fold += r->id;
+      }
+      return fold;
+    };
+    const auto warm_fold = drain_once(cur);
+    cur.seek_to_block(0);
+    const auto before = g_heap_allocs.load(std::memory_order_relaxed);
+    const auto steady_fold = drain_once(cur);
+    v3_steady_allocs =
+        g_heap_allocs.load(std::memory_order_relaxed) - before;
+    if (warm_fold != steady_fold) {
+      std::fprintf(stderr, "FAIL: v3 re-decode after seek diverged\n");
+      return 1;
+    }
+  }
+
+  // Block-seek walk: every block visited in reverse order through the
+  // leading index (seek, decode to the block fence) with MADV_RANDOM
+  // advice — the mid-file entry path sharded workers rely on, which must
+  // fold to exactly the sequential drain's checksum.
+  ingest_stats v3_seek;
+  {
+    net::trace_v3_cursor cur(v3_path, net::trace_access::random);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t b = cur.block_count(); b-- > 0;) {
+      cur.seek_to_block(b);
+      while (cur.current_block() == b) {
+        const net::packet_record* r = cur.next();
+        if (r == nullptr) break;
+        ++v3_seek.records;
+        v3_seek.checksum += r->id +
+                            static_cast<std::uint64_t>(r->ingress_time) +
+                            r->path.size() + r->hop_departs.size();
+      }
+    }
+    v3_seek.wall_seconds = exp::wall_seconds_since(t0);
+  }
+  const bool v3_seek_same = v3_seek.checksum == v3_ingest.checksum &&
+                            v3_seek.records == v3_ingest.records;
+
+  // End-to-end disk replay across every mode: text serial, then each
+  // binary format serial and sharded (each worker maps the same file
+  // read-only; the kernel shares one physical copy). All five runs must
+  // be byte-identical.
   exp::disk_shard_task disk_task;
   disk_task.topology = orig_big.topology;
   disk_task.threshold_T = orig_big.threshold_T;
@@ -442,12 +655,22 @@ int main(int argc, char** argv) {
   const double bin_replay_wall = exp::wall_seconds_since(t_bin);
   const auto disk_bin_sharded =
       exp::run_sharded_disk(disk_task, disk_sharded_opt);
+  disk_task.trace_path = v3_path;
+  const auto t_v3 = std::chrono::steady_clock::now();
+  const auto disk_v3 = exp::run_sharded_disk(disk_task, disk_serial_opt);
+  const double v3_replay_wall = exp::wall_seconds_since(t_v3);
+  const auto disk_v3_sharded =
+      exp::run_sharded_disk(disk_task, disk_sharded_opt);
 
   bool disk_same = disk_text.size() == disk_bin.size() &&
-                   disk_text.size() == disk_bin_sharded.size();
+                   disk_text.size() == disk_bin_sharded.size() &&
+                   disk_text.size() == disk_v3.size() &&
+                   disk_text.size() == disk_v3_sharded.size();
   for (std::size_t m = 0; disk_same && m < disk_text.size(); ++m) {
     disk_same = same_result(disk_text[m].result, disk_bin[m].result) &&
-                same_result(disk_text[m].result, disk_bin_sharded[m].result);
+                same_result(disk_text[m].result, disk_bin_sharded[m].result) &&
+                same_result(disk_text[m].result, disk_v3[m].result) &&
+                same_result(disk_text[m].result, disk_v3_sharded[m].result);
   }
   const std::uint64_t disk_replayed =
       orig_big.trace.packets.size() * modes.size();
@@ -455,8 +678,217 @@ int main(int argc, char** argv) {
       static_cast<double>(disk_replayed) / text_replay_wall;
   const double bin_replay_pps =
       static_cast<double>(disk_replayed) / bin_replay_wall;
+  const double v3_replay_pps =
+      static_cast<double>(disk_replayed) / v3_replay_wall;
   std::remove(v1_path.c_str());
   std::remove(v2_path.c_str());
+  std::remove(v3_path.c_str());
+
+  // --- WAN-bytes lane: compression across the three formats -----------------
+  // An Internet2 trace recorded *with* per-hop data (path + per-router
+  // departure columns populated — the widest records the recorder emits,
+  // and the representative WAN-archive shape). v3's delta-varint columns
+  // must land at or under max_v3_bytes_ratio x the v2 fixed-width size.
+  std::uint64_t wan_records = 0;
+  std::uint64_t wan_v1_bytes = 0, wan_v2_bytes = 0, wan_v3_bytes = 0;
+  {
+    exp::scenario wan_sc;
+    wan_sc.topo = exp::topo_kind::i2_default;
+    wan_sc.utilization = 0.7;
+    wan_sc.sched = core::sched_kind::random;
+    wan_sc.seed = a.seed;
+    wan_sc.packet_budget = budget;
+    wan_sc.record_hops = true;
+    auto wan_orig = exp::run_original(wan_sc);
+    net::sort_by_ingress(wan_orig.trace);
+    wan_records = wan_orig.trace.packets.size();
+    const std::string w1 = "bench_macro_wan.v1.trace";
+    const std::string w2 = "bench_macro_wan.v2.trace";
+    const std::string w3 = "bench_macro_wan.v3.trace";
+    net::save_trace(w1, wan_orig.trace);
+    net::save_trace_v2(w2, wan_orig.trace);
+    net::save_trace_v3(w3, wan_orig.trace);
+    wan_v1_bytes = file_bytes(w1);
+    wan_v2_bytes = file_bytes(w2);
+    wan_v3_bytes = file_bytes(w3);
+    std::remove(w1.c_str());
+    std::remove(w2.c_str());
+    std::remove(w3.c_str());
+  }
+  const double wan_v3_ratio =
+      static_cast<double>(wan_v3_bytes) / static_cast<double>(wan_v2_bytes);
+
+  // --- RocketFuel lane: mixed workloads at WAN scale -------------------------
+  // Sweep axes: incast fan-in degree x closed-loop outstanding window, the
+  // two knobs that shape a mixed trace's burstiness and steady-state
+  // residency. Each cell records an original on the RocketFuel topology
+  // and replays it with LSTF.
+  struct rf_cell {
+    std::uint32_t fan_in = 0;
+    std::uint32_t outstanding = 0;
+    std::uint64_t trace_packets = 0;
+    std::uint64_t peak_pool = 0;
+    std::uint64_t peak_outstanding = 0;
+    double original_wall = 0;
+    double replay_wall = 0;
+    double frac_overdue = 0;
+    double frac_overdue_beyond_T = 0;
+  };
+  std::vector<rf_cell> rf_sweep;
+  for (const std::uint32_t fan : {8u, 16u, 32u}) {
+    for (const std::uint32_t win : {4u, 16u, 64u}) {
+      exp::scenario sc;
+      sc.topo = exp::topo_kind::rocketfuel;
+      sc.utilization = 0.7;
+      sc.sched = core::sched_kind::random;
+      sc.seed = a.seed;
+      sc.packet_budget = budget;
+      char wname[48];
+      std::snprintf(wname, sizeof(wname), "mixed:%u:%u:0.25", fan, win);
+      sc.workload_kind = traffic::parse_workload(wname, sc.workload_spec);
+      rf_cell c;
+      c.fan_in = fan;
+      c.outstanding = win;
+      const auto t_orig = std::chrono::steady_clock::now();
+      const auto orig = exp::run_original(sc);
+      c.original_wall = exp::wall_seconds_since(t_orig);
+      c.trace_packets = orig.trace.packets.size();
+      c.peak_pool = orig.peak_pool_packets;
+      c.peak_outstanding = orig.peak_outstanding_flows;
+      const auto t_rep = std::chrono::steady_clock::now();
+      const auto rep = exp::run_replay(orig, core::replay_mode::lstf,
+                                       /*keep_outcomes=*/false);
+      c.replay_wall = exp::wall_seconds_since(t_rep);
+      c.frac_overdue = rep.frac_overdue();
+      c.frac_overdue_beyond_T = rep.frac_overdue_beyond_T();
+      rf_sweep.push_back(c);
+    }
+  }
+
+  // Tiled scale lane (--rf-packets=N, headline N=1e8): a recorded mixed
+  // base trace tiled along the time axis into an N-packet v3 file (O(1
+  // block) writer memory — the whole point of the streaming path) and the
+  // identical trace as v2, then pure-ingest and end-to-end LSTF replay of
+  // both. Replays are compared on their aggregate counters; the
+  // per-outcome byte-identity of v2-vs-v3 replay is gated on the disk
+  // lane above, where keeping 2x outcome vectors is cheap.
+  struct rf_tiled_stats {
+    std::uint64_t records = 0;
+    std::uint64_t base_records = 0;
+    std::uint64_t v2_bytes = 0;
+    std::uint64_t v3_bytes = 0;
+    double v2_write_wall = 0;
+    double v3_write_wall = 0;
+    ingest_stats v2_ingest;
+    ingest_stats v3_ingest;
+    // Cold-cache open+drain of the same two files after page-cache
+    // eviction — the disk-lane ingest measurement and the v3-ingest gate's
+    // metric. cold_available is false where eviction is unsupported.
+    ingest_stats v2_cold;
+    ingest_stats v3_cold;
+    bool cold_available = false;
+    double v2_replay_wall = 0;
+    double v3_replay_wall = 0;
+    double frac_overdue = 0;
+    double frac_overdue_beyond_T = 0;
+    bool identical = true;
+  };
+  rf_tiled_stats rft;
+  bool rf_tiled_ok = true;
+  if (rf_packets > 0) {
+    exp::scenario base_sc;
+    base_sc.topo = exp::topo_kind::rocketfuel;
+    base_sc.utilization = 0.7;
+    base_sc.sched = core::sched_kind::random;
+    base_sc.seed = a.seed;
+    base_sc.packet_budget = std::min<std::uint64_t>(rf_packets, 2'000'000);
+    base_sc.workload_kind =
+        traffic::parse_workload("mixed:16:16:0.25", base_sc.workload_spec);
+    auto base = exp::run_original(base_sc);
+    net::sort_by_ingress(base.trace);
+    rft.base_records = base.trace.packets.size();
+    const std::string r2 = "bench_macro_rf.v2.trace";
+    const std::string r3 = "bench_macro_rf.v3.trace";
+    {
+      std::ofstream os(r3, std::ios::binary);
+      net::trace_v3_writer w(os, rf_packets);
+      const auto t0 = std::chrono::steady_clock::now();
+      rft.records = write_tiled(w, base.trace, rf_packets);
+      rft.v3_write_wall = exp::wall_seconds_since(t0);
+    }
+    {
+      std::ofstream os(r2, std::ios::binary);
+      net::trace_binary_writer w(os);
+      const auto t0 = std::chrono::steady_clock::now();
+      (void)write_tiled(w, base.trace, rf_packets);
+      rft.v2_write_wall = exp::wall_seconds_since(t0);
+    }
+    rft.v2_bytes = file_bytes(r2);
+    rft.v3_bytes = file_bytes(r3);
+    {
+      net::trace_mmap_cursor c2(r2);
+      rft.v2_ingest = drain(c2);
+      net::trace_v3_cursor c3(r3);
+      rft.v3_ingest = drain(c3);
+    }
+    // Cold-cache ingest: evict each file (fsync + POSIX_FADV_DONTNEED),
+    // then time open + drain — opening is part of the cost (a v2 open
+    // faults the whole footer index; v3 only the leading block index).
+    // This is the regime the block format exists for: bytes off storage
+    // dominate, and the ~3x smaller v3 file must be the faster path.
+    rft.cold_available = drop_page_cache(r2);
+    if (rft.cold_available) {
+      const auto t0 = std::chrono::steady_clock::now();
+      net::trace_mmap_cursor c2(r2);
+      rft.v2_cold = drain(c2);
+      rft.v2_cold.wall_seconds = exp::wall_seconds_since(t0);
+      rft.cold_available = drop_page_cache(r3);
+    }
+    if (rft.cold_available) {
+      const auto t0 = std::chrono::steady_clock::now();
+      net::trace_v3_cursor c3(r3);
+      rft.v3_cold = drain(c3);
+      rft.v3_cold.wall_seconds = exp::wall_seconds_since(t0);
+      if (rft.v2_cold.checksum != rft.v2_ingest.checksum ||
+          rft.v3_cold.checksum != rft.v3_ingest.checksum) {
+        std::fprintf(stderr, "FAIL: cold-cache drains diverged from warm\n");
+        return 1;
+      }
+    }
+    const auto t_r2 = std::chrono::steady_clock::now();
+    const auto rep2 = exp::run_replay_file(r2, base.topology,
+                                           base.threshold_T,
+                                           core::replay_mode::lstf);
+    rft.v2_replay_wall = exp::wall_seconds_since(t_r2);
+    const auto t_r3 = std::chrono::steady_clock::now();
+    const auto rep3 = exp::run_replay_file(r3, base.topology,
+                                           base.threshold_T,
+                                           core::replay_mode::lstf);
+    rft.v3_replay_wall = exp::wall_seconds_since(t_r3);
+    rft.frac_overdue = rep3.frac_overdue();
+    rft.frac_overdue_beyond_T = rep3.frac_overdue_beyond_T();
+    rft.identical =
+        rft.v2_ingest.checksum == rft.v3_ingest.checksum &&
+        rft.v2_ingest.records == rft.v3_ingest.records &&
+        rep2.total == rep3.total && rep2.overdue == rep3.overdue &&
+        rep2.overdue_beyond_T == rep3.overdue_beyond_T;
+    rf_tiled_ok = rft.identical;
+    std::remove(r2.c_str());
+    std::remove(r3.c_str());
+  }
+  const bool cold_available = rf_packets > 0 && rft.cold_available;
+  const double v2_cold_pps =
+      cold_available
+          ? static_cast<double>(rft.v2_cold.records) /
+                rft.v2_cold.wall_seconds
+          : 0.0;
+  const double v3_cold_pps =
+      cold_available
+          ? static_cast<double>(rft.v3_cold.records) /
+                rft.v3_cold.wall_seconds
+          : 0.0;
+  const double v3_cold_ratio =
+      cold_available ? v3_cold_pps / v2_cold_pps : 0.0;
 
   // --- report --------------------------------------------------------------
   std::printf("\n%-22s %6s %-12s %9s", "scenario", "util", "workload",
@@ -529,10 +961,81 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(v2_bytes), bin_ingest_pps,
               static_cast<double>(v2_bytes) / bin_ingest.wall_seconds / 1e6,
               bin_replay_pps);
-  std::printf("  binary ingest speedup %.2fx, end-to-end replay speedup "
-              "%.2fx, results identical: %s\n",
-              disk_speedup, bin_replay_pps / text_replay_pps,
-              disk_same ? "yes" : "NO");
+  std::printf("  v3 blocks %9llu bytes  ingest %12.0f packets/sec "
+              "%8.1f MB/s   replay(4 modes) %12.0f packets/sec\n",
+              static_cast<unsigned long long>(v3_bytes), v3_ingest_pps,
+              static_cast<double>(v3_bytes) / v3_ingest.wall_seconds / 1e6,
+              v3_replay_pps);
+  std::printf("  binary ingest speedup %.2fx, v3/v2 warm-decode ratio "
+              "%.2fx, end-to-end replay speedup %.2fx, results identical: "
+              "%s\n",
+              disk_speedup, v3_ingest_ratio,
+              bin_replay_pps / text_replay_pps, disk_same ? "yes" : "NO");
+  std::printf("  v3 steady-state allocations: %llu; block-seek walk %llu "
+              "records in %.3fs (%.0f packets/sec), fold identical: %s\n",
+              static_cast<unsigned long long>(v3_steady_allocs),
+              static_cast<unsigned long long>(v3_seek.records),
+              v3_seek.wall_seconds,
+              static_cast<double>(v3_seek.records) / v3_seek.wall_seconds,
+              v3_seek_same ? "yes" : "NO");
+  std::printf("\nWAN bytes lane (I2 @70%%, hops recorded, %llu packets):\n",
+              static_cast<unsigned long long>(wan_records));
+  std::printf("  v1 %10llu bytes (%6.1f B/pkt)  v2 %10llu bytes "
+              "(%6.1f B/pkt)  v3 %10llu bytes (%6.1f B/pkt)  v3/v2 %.3f\n",
+              static_cast<unsigned long long>(wan_v1_bytes),
+              static_cast<double>(wan_v1_bytes) /
+                  static_cast<double>(wan_records),
+              static_cast<unsigned long long>(wan_v2_bytes),
+              static_cast<double>(wan_v2_bytes) /
+                  static_cast<double>(wan_records),
+              static_cast<unsigned long long>(wan_v3_bytes),
+              static_cast<double>(wan_v3_bytes) /
+                  static_cast<double>(wan_records),
+              wan_v3_ratio);
+  std::printf("\nRocketFuel lane (mixed workload, fan-in x outstanding "
+              "sweep):\n");
+  std::printf("  %4s %4s %9s %12s %12s %10s %8s %8s\n", "fan", "win",
+              "packets", "orig pkt/s", "replay pkt/s", "peak pool",
+              "peak out", "overdue");
+  for (const auto& c : rf_sweep) {
+    std::printf("  %4u %4u %9llu %12.0f %12.0f %10llu %8llu %8.4f\n",
+                c.fan_in, c.outstanding,
+                static_cast<unsigned long long>(c.trace_packets),
+                static_cast<double>(c.trace_packets) / c.original_wall,
+                static_cast<double>(c.trace_packets) / c.replay_wall,
+                static_cast<unsigned long long>(c.peak_pool),
+                static_cast<unsigned long long>(c.peak_outstanding),
+                c.frac_overdue);
+  }
+  if (rf_packets > 0) {
+    std::printf("  tiled scale: %llu packets (base %llu, mixed:16:16:0.25)\n",
+                static_cast<unsigned long long>(rft.records),
+                static_cast<unsigned long long>(rft.base_records));
+    std::printf("    v2 %12llu bytes  write %7.2fs  ingest %12.0f pkt/s  "
+                "lstf replay %12.0f pkt/s\n",
+                static_cast<unsigned long long>(rft.v2_bytes),
+                rft.v2_write_wall,
+                static_cast<double>(rft.v2_ingest.records) /
+                    rft.v2_ingest.wall_seconds,
+                static_cast<double>(rft.records) / rft.v2_replay_wall);
+    std::printf("    v3 %12llu bytes  write %7.2fs  ingest %12.0f pkt/s  "
+                "lstf replay %12.0f pkt/s  overdue %.4f  identical: %s\n",
+                static_cast<unsigned long long>(rft.v3_bytes),
+                rft.v3_write_wall,
+                static_cast<double>(rft.v3_ingest.records) /
+                    rft.v3_ingest.wall_seconds,
+                static_cast<double>(rft.records) / rft.v3_replay_wall,
+                rft.frac_overdue, rft.identical ? "yes" : "NO");
+    if (cold_available) {
+      std::printf("    cold-cache (disk lane, open+drain): v2 %12.0f "
+                  "pkt/s, v3 %12.0f pkt/s, v3/v2 cold ingest ratio "
+                  "%.2fx\n",
+                  v2_cold_pps, v3_cold_pps, v3_cold_ratio);
+    } else {
+      std::printf("    cold-cache (disk lane): SKIPPED — page-cache "
+                  "eviction unavailable on this platform\n");
+    }
+  }
 
   // --- JSON trajectory -----------------------------------------------------
   const bool same = identical(serial, sharded);
@@ -569,11 +1072,72 @@ int main(int argc, char** argv) {
         << ", \"packets_per_sec\": " << bin_ingest_pps
         << ", \"mb_per_sec\": "
         << static_cast<double>(v2_bytes) / bin_ingest.wall_seconds / 1e6
+        << "},\n    \"v3_bytes\": " << v3_bytes
+        << ", \"v3_ingest\": {\"wall_seconds\": " << v3_ingest.wall_seconds
+        << ", \"packets_per_sec\": " << v3_ingest_pps
+        << ", \"mb_per_sec\": "
+        << static_cast<double>(v3_bytes) / v3_ingest.wall_seconds / 1e6
+        << "},\n    \"v3_ingest_ratio\": " << v3_ingest_ratio
+        << ", \"v3_steady_state_allocs\": " << v3_steady_allocs
+        << ",\n    \"v3_block_seek\": {\"records\": " << v3_seek.records
+        << ", \"wall_seconds\": " << v3_seek.wall_seconds
+        << ", \"identical\": " << (v3_seek_same ? "true" : "false")
         << "},\n    \"ingest_speedup\": " << disk_speedup
         << ",\n    \"text_replay_packets_per_sec\": " << text_replay_pps
         << ", \"binary_replay_packets_per_sec\": " << bin_replay_pps
+        << ", \"v3_replay_packets_per_sec\": " << v3_replay_pps
         << ", \"replay_speedup\": " << bin_replay_pps / text_replay_pps
         << ", \"identical\": " << (disk_same ? "true" : "false") << "},\n"
+        << "  \"wan_bytes\": {\"trace_packets\": " << wan_records
+        << ", \"v1_bytes\": " << wan_v1_bytes
+        << ", \"v2_bytes\": " << wan_v2_bytes
+        << ", \"v3_bytes\": " << wan_v3_bytes
+        << ", \"v3_v2_ratio\": " << wan_v3_ratio << "},\n"
+        << "  \"rocketfuel\": {\"sweep\": [\n";
+    for (std::size_t i = 0; i < rf_sweep.size(); ++i) {
+      const auto& c = rf_sweep[i];
+      out << "    {\"fan_in\": " << c.fan_in
+          << ", \"outstanding\": " << c.outstanding
+          << ", \"trace_packets\": " << c.trace_packets
+          << ", \"original_packets_per_sec\": "
+          << static_cast<double>(c.trace_packets) / c.original_wall
+          << ", \"replay_packets_per_sec\": "
+          << static_cast<double>(c.trace_packets) / c.replay_wall
+          << ", \"peak_pool_packets\": " << c.peak_pool
+          << ", \"peak_outstanding_flows\": " << c.peak_outstanding
+          << ", \"frac_overdue\": " << c.frac_overdue
+          << ", \"frac_overdue_beyond_T\": " << c.frac_overdue_beyond_T
+          << "}" << (i + 1 < rf_sweep.size() ? "," : "") << "\n";
+    }
+    out << "  ]";
+    if (rf_packets > 0) {
+      out << ",\n  \"tiled\": {\"records\": " << rft.records
+          << ", \"base_records\": " << rft.base_records
+          << ", \"v2_bytes\": " << rft.v2_bytes
+          << ", \"v3_bytes\": " << rft.v3_bytes
+          << ", \"v2_write_seconds\": " << rft.v2_write_wall
+          << ", \"v3_write_seconds\": " << rft.v3_write_wall
+          << ",\n    \"v2_ingest_packets_per_sec\": "
+          << static_cast<double>(rft.v2_ingest.records) /
+                 rft.v2_ingest.wall_seconds
+          << ", \"v3_ingest_packets_per_sec\": "
+          << static_cast<double>(rft.v3_ingest.records) /
+                 rft.v3_ingest.wall_seconds
+          << ",\n    \"cold_ingest\": {\"available\": "
+          << (cold_available ? "true" : "false")
+          << ", \"v2_packets_per_sec\": " << v2_cold_pps
+          << ", \"v3_packets_per_sec\": " << v3_cold_pps
+          << ", \"v3_v2_ratio\": " << v3_cold_ratio
+          << "},\n    \"v2_replay_packets_per_sec\": "
+          << static_cast<double>(rft.records) / rft.v2_replay_wall
+          << ", \"v3_replay_packets_per_sec\": "
+          << static_cast<double>(rft.records) / rft.v3_replay_wall
+          << ", \"frac_overdue\": " << rft.frac_overdue
+          << ", \"frac_overdue_beyond_T\": " << rft.frac_overdue_beyond_T
+          << ", \"identical\": " << (rft.identical ? "true" : "false")
+          << "}";
+    }
+    out << "},\n"
         << "  \"workloads\": [\n";
     for (std::size_t i = 0; i < lanes.size(); ++i) {
       const auto& l = lanes[i];
@@ -686,6 +1250,52 @@ int main(int argc, char** argv) {
                  "FAIL: binary replay ingestion %.2fx text reader < %.2fx "
                  "bar\n",
                  disk_speedup, min_disk_speedup);
+    ++failures;
+  }
+  // The ingest gate runs on the disk lane (cold cache): that is the regime
+  // the block format exists for — once the file is not in page cache the
+  // bytes moved dominate, and v3's ~3x smaller files must make it the
+  // faster ingest path. Warm-cache decode is reported above but not gated:
+  // a delta-varint column decode cannot out-run v2's fixed-offset loads
+  // when the bytes are already in memory, by design.
+  if (!cold_available) {
+    std::fprintf(stderr,
+                 "v3 ingest gate SKIPPED: needs the RocketFuel tiled lane "
+                 "(--rf-packets=N) and platform page-cache eviction\n");
+  } else if (v3_cold_ratio < min_v3_ingest_ratio) {
+    std::fprintf(stderr,
+                 "FAIL: v3 cold-cache ingest %.0f packets/sec is %.2fx the "
+                 "v2 cursor's %.0f — below the %.2fx bar\n",
+                 v3_cold_pps, v3_cold_ratio, v2_cold_pps,
+                 min_v3_ingest_ratio);
+    ++failures;
+  }
+  if (wan_v3_ratio > max_v3_bytes_ratio) {
+    std::fprintf(stderr,
+                 "FAIL: WAN v3 trace is %.3fx the v2 bytes (> %.2fx bar): "
+                 "%llu vs %llu bytes\n",
+                 wan_v3_ratio, max_v3_bytes_ratio,
+                 static_cast<unsigned long long>(wan_v3_bytes),
+                 static_cast<unsigned long long>(wan_v2_bytes));
+    ++failures;
+  }
+  if (v3_steady_allocs != 0) {
+    std::fprintf(stderr,
+                 "FAIL: warmed v3 decode performed %llu heap allocations "
+                 "(contract: zero)\n",
+                 static_cast<unsigned long long>(v3_steady_allocs));
+    ++failures;
+  }
+  if (!v3_seek_same) {
+    std::fprintf(stderr,
+                 "FAIL: v3 block-seek walk folded differently from the "
+                 "sequential drain (index/seek bug)\n");
+    ++failures;
+  }
+  if (!rf_tiled_ok) {
+    std::fprintf(stderr,
+                 "FAIL: RocketFuel tiled v2 and v3 traces disagree "
+                 "(ingest checksum or replay counters)\n");
     ++failures;
   }
   // Skip only on a *known* single-core box; hardware_concurrency() == 0

@@ -71,13 +71,14 @@ core::replay_result run_replay_file(const std::string& trace_path,
                                     sim::time_ps threshold_T,
                                     core::replay_mode mode,
                                     bool keep_outcomes,
-                                    core::injection_mode injection) {
+                                    core::injection_mode injection,
+                                    net::trace_access access) {
   core::replay_options opt;
   opt.mode = mode;
   opt.threshold_T = threshold_T;
   opt.keep_outcomes = keep_outcomes;
   opt.injection = injection;
-  const auto cur = net::open_trace_cursor(trace_path);
+  const auto cur = net::open_trace_cursor(trace_path, access);
   return core::replay_trace(
       *cur, [&topology](net::network& n) { topo::populate(topology, n); },
       opt);

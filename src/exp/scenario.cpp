@@ -65,6 +65,12 @@ std::string scenario::label() const {
                     sim::to_micros(workload_spec.barrier_jitter));
       s += knob;
       break;
+    case traffic::source_kind::mixed:
+      std::snprintf(knob, sizeof(knob), ":%u:%u:%g",
+                    workload_spec.incast_degree, workload_spec.outstanding,
+                    workload_spec.incast_share);
+      s += knob;
+      break;
   }
   return s;
 }

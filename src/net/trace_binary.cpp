@@ -19,8 +19,9 @@ namespace ups::net {
 namespace {
 
 static_assert(std::endian::native == std::endian::little,
-              "v2 trace I/O assumes a little-endian host; add byte-swapping "
-              "load/store helpers before porting to a big-endian target");
+              "binary trace I/O assumes a little-endian host; add "
+              "byte-swapping load/store helpers before porting to a "
+              "big-endian target");
 
 template <typename T>
 [[nodiscard]] T load_le(const std::uint8_t* p) noexcept {
@@ -39,6 +40,71 @@ void append_le(std::vector<std::uint8_t>& buf, T v) {
   const std::size_t n = buf.size();
   buf.resize(n + sizeof(T));
   store_le(buf.data() + n, v);
+}
+
+// One sized read into a pre-sized buffer — istreambuf_iterator would pull
+// the file a character at a time through virtual calls, hopeless at the
+// GB/s these formats target.
+std::vector<std::uint8_t> slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary | std::ios::ate);
+  if (!is) throw std::runtime_error("trace: cannot open " + path);
+  const std::streamoff size = is.tellg();
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  is.seekg(0);
+  is.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!is) throw std::runtime_error("trace: read failed for " + path);
+  return bytes;
+}
+
+// Maps `path` read-only (falling back to an owned buffer without mmap) and
+// applies the page-cache advice. Shared by both file-backed cursors.
+struct file_image {
+  void* mapping = nullptr;  // non-null when mmap owns the bytes
+  std::size_t mapping_size = 0;
+  std::vector<std::uint8_t> owned;
+  const std::uint8_t* data = nullptr;
+  std::size_t size = 0;
+};
+
+file_image map_trace_file(const std::string& path, trace_access access) {
+  file_image img;
+#if UPS_TRACE_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw std::runtime_error("trace: cannot open " + path);
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw std::runtime_error("trace: cannot stat " + path);
+  }
+  const std::size_t size = static_cast<std::size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    throw trace_format_error("trace: file shorter than a trace header");
+  }
+  void* map = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping keeps the file alive
+  if (map == MAP_FAILED) {
+    throw std::runtime_error("trace: mmap failed for " + path);
+  }
+#if defined(MADV_SEQUENTIAL) && defined(MADV_RANDOM)
+  // Advice only — a failure costs readahead tuning, never correctness.
+  (void)::madvise(map, size,
+                  access == trace_access::random ? MADV_RANDOM
+                                                 : MADV_SEQUENTIAL);
+#endif
+  img.mapping = map;
+  img.mapping_size = size;
+  img.data = static_cast<const std::uint8_t*>(map);
+  img.size = size;
+#else
+  (void)access;
+  // No mmap on this platform: fall back to reading the file into an owned
+  // buffer (still one parse-free image; just not shared across processes).
+  img.owned = slurp(path);
+  img.data = img.owned.data();
+  img.size = img.owned.size();
+#endif
+  return img;
 }
 
 [[nodiscard]] std::uint32_t payload_len_of(const packet_record& r) {
@@ -149,6 +215,193 @@ header_fields check_header(const std::uint8_t* data, std::size_t size) {
   return h;
 }
 
+[[nodiscard]] bool file_starts_with(const std::string& path,
+                                    const char (&magic)[8]) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("trace: cannot open " + path);
+  char head[8] = {};
+  is.read(head, sizeof(head));
+  return is.gcount() == sizeof(head) &&
+         std::memcmp(head, magic, sizeof(head)) == 0;
+}
+
+// --- v3 primitives -----------------------------------------------------------
+
+[[nodiscard]] constexpr std::uint64_t zigzag(std::int64_t v) noexcept {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+[[nodiscard]] constexpr std::int64_t unzigzag(std::uint64_t v) noexcept {
+  return static_cast<std::int64_t>((v >> 1) ^ (0 - (v & 1)));
+}
+
+// Wrapping u64 difference cast to signed: round-trips every (a, b) pair
+// exactly (the decoder applies the inverse wrap), while keeping the common
+// small-difference case one varint byte. Avoids the signed-overflow UB a
+// plain i64 subtraction would hit on extreme operands.
+[[nodiscard]] constexpr std::int64_t wrap_diff(std::int64_t a,
+                                               std::int64_t b) noexcept {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) -
+                                   static_cast<std::uint64_t>(b));
+}
+
+[[nodiscard]] constexpr std::int64_t wrap_add(std::int64_t base,
+                                              std::int64_t delta) noexcept {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(base) +
+                                   static_cast<std::uint64_t>(delta));
+}
+
+void put_varint(std::vector<std::uint8_t>& buf, std::uint64_t v) {
+  while (v >= 0x80) {
+    buf.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf.push_back(static_cast<std::uint8_t>(v));
+}
+
+// LEB128 decode bounded by the column end. Truncation mid-value and
+// overlong (> 64 payload bits) encodings both throw — a corrupt column can
+// fail loudly but never reads past `end`.
+[[nodiscard]] std::uint64_t get_varint_slow(const std::uint8_t*& p,
+                                            const std::uint8_t* end) {
+  std::uint64_t v = 0;
+  unsigned shift = 0;
+  for (;;) {
+    if (p == end) {
+      throw trace_format_error("trace v3: varint truncated at column end");
+    }
+    const std::uint8_t b = *p++;
+    if (shift == 63 && b > 1) {
+      throw trace_format_error("trace v3: varint overflows 64 bits");
+    }
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+    if (shift >= 64) {
+      throw trace_format_error("trace v3: varint overflows 64 bits");
+    }
+  }
+}
+
+// Hot-path decode: when at least 10 readable bytes remain (a 64-bit LEB128
+// is at most 10 bytes) the per-byte end checks vanish; single-byte values —
+// the overwhelming majority after delta encoding — return after one branch.
+// The tail of a column falls back to the bounds-checked loop above.
+// Force-inlined: each block decode issues 14 of these per record, and an
+// out-of-line call per varint costs more than the decode itself.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((always_inline))
+#endif
+[[nodiscard]] inline std::uint64_t get_varint(const std::uint8_t*& p,
+                                              const std::uint8_t* end) {
+  if (end - p < 10) [[unlikely]] {
+    return get_varint_slow(p, end);
+  }
+  std::uint64_t b = *p++;
+  if ((b & 0x80) == 0) [[likely]] {
+    return b;
+  }
+  std::uint64_t v = b & 0x7f;
+  unsigned shift = 7;
+  for (;;) {
+    b = *p++;
+    if (shift == 63 && b > 1) {
+      throw trace_format_error("trace v3: varint overflows 64 bits");
+    }
+    v |= (b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+    if (shift >= 64) {
+      throw trace_format_error("trace v3: varint overflows 64 bits");
+    }
+  }
+}
+
+[[nodiscard]] std::uint32_t narrow_u32(std::uint64_t v, const char* what) {
+  if (v > UINT32_MAX) {
+    throw trace_format_error(std::string("trace v3: ") + what +
+                             " overflows 32 bits");
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
+[[nodiscard]] node_id narrow_node(std::int64_t v, const char* what) {
+  if (v < INT32_MIN || v > INT32_MAX) {
+    throw trace_format_error(std::string("trace v3: ") + what +
+                             " overflows a node id");
+  }
+  return static_cast<node_id>(v);
+}
+
+// Column order (see kTraceV3ColumnNames): the numeric indices below are the
+// single source of truth for both encoder and decoder.
+enum v3_col : std::size_t {
+  kColIngress = 0,
+  kColEgress = 1,
+  kColId = 2,
+  kColFlow = 3,
+  kColSeq = 4,
+  kColSize = 5,
+  kColSrc = 6,
+  kColDst = 7,
+  kColQdelay = 8,
+  kColFlowSize = 9,
+  kColPathLen = 10,
+  kColPath = 11,
+  kColDepartsLen = 12,
+  kColDeparts = 13,
+};
+
+struct v3_header_fields {
+  std::uint64_t record_count = 0;
+  std::uint64_t block_count = 0;
+  std::uint64_t data_offset = 0;
+  std::uint64_t index_capacity = 0;
+  std::uint32_t records_per_block = 0;
+};
+
+v3_header_fields check_v3_header(const std::uint8_t* data, std::size_t size) {
+  if (size < kTraceV3HeaderBytes) {
+    throw trace_format_error("trace v3: file shorter than the header");
+  }
+  if (std::memcmp(data, kTraceV3Magic, sizeof(kTraceV3Magic)) != 0) {
+    throw trace_format_error("trace v3: bad magic");
+  }
+  const std::uint32_t version = load_le<std::uint32_t>(data + 8);
+  if (version != kTraceV3Version) {
+    throw trace_format_error("trace v3: unsupported version " +
+                             std::to_string(version));
+  }
+  const std::uint32_t header_bytes = load_le<std::uint32_t>(data + 12);
+  if (header_bytes != kTraceV3HeaderBytes) {
+    throw trace_format_error("trace v3: unexpected header size");
+  }
+  v3_header_fields h;
+  h.record_count = load_le<std::uint64_t>(data + 16);
+  h.block_count = load_le<std::uint64_t>(data + 24);
+  h.data_offset = load_le<std::uint64_t>(data + 32);
+  h.index_capacity = load_le<std::uint64_t>(data + 40);
+  h.records_per_block = load_le<std::uint32_t>(data + 48);
+  if (h.records_per_block == 0) {
+    throw trace_format_error("trace v3: zero records per block");
+  }
+  // Division-form bound first so the multiplication below cannot overflow.
+  if (h.index_capacity >
+      (size - kTraceV3HeaderBytes) / kTraceV3IndexEntryBytes) {
+    throw trace_format_error("trace v3: index region out of bounds");
+  }
+  if (h.data_offset != kTraceV3HeaderBytes +
+                           kTraceV3IndexEntryBytes * h.index_capacity) {
+    throw trace_format_error(
+        "trace v3: data offset disagrees with index capacity");
+  }
+  if (h.block_count > h.index_capacity) {
+    throw trace_format_error("trace v3: block count exceeds index capacity");
+  }
+  return h;
+}
+
 }  // namespace
 
 // --- writer ------------------------------------------------------------------
@@ -213,12 +466,11 @@ void save_trace_v2(const std::string& path, const trace& t) {
 }
 
 bool is_trace_v2_file(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) throw std::runtime_error("trace: cannot open " + path);
-  char magic[sizeof(kTraceV2Magic)] = {};
-  is.read(magic, sizeof(magic));
-  return is.gcount() == sizeof(magic) &&
-         std::memcmp(magic, kTraceV2Magic, sizeof(magic)) == 0;
+  return file_starts_with(path, kTraceV2Magic);
+}
+
+bool is_trace_v3_file(const std::string& path) {
+  return file_starts_with(path, kTraceV3Magic);
 }
 
 // --- batch loader (file order) ----------------------------------------------
@@ -249,24 +501,6 @@ trace read_trace_v2(const std::uint8_t* data, std::size_t size) {
   }
   return t;
 }
-
-namespace {
-
-// One sized read into a pre-sized buffer — istreambuf_iterator would pull
-// the file a character at a time through virtual calls, hopeless at the
-// GB/s this format targets.
-std::vector<std::uint8_t> slurp(const std::string& path) {
-  std::ifstream is(path, std::ios::binary | std::ios::ate);
-  if (!is) throw std::runtime_error("trace: cannot open " + path);
-  const std::streamoff size = is.tellg();
-  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
-  is.seekg(0);
-  is.read(reinterpret_cast<char*>(bytes.data()), size);
-  if (!is) throw std::runtime_error("trace: read failed for " + path);
-  return bytes;
-}
-
-}  // namespace
 
 trace load_trace_v2(const std::string& path) {
   const auto bytes = slurp(path);
@@ -314,36 +548,14 @@ std::uint32_t record_view::departs_len() const noexcept {
 
 // --- mmap cursor -------------------------------------------------------------
 
-trace_mmap_cursor::trace_mmap_cursor(const std::string& path) {
-#if UPS_TRACE_HAVE_MMAP
-  const int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) throw std::runtime_error("trace: cannot open " + path);
-  struct stat st {};
-  if (::fstat(fd, &st) != 0) {
-    ::close(fd);
-    throw std::runtime_error("trace: cannot stat " + path);
-  }
-  const std::size_t size = static_cast<std::size_t>(st.st_size);
-  if (size == 0) {
-    ::close(fd);
-    throw trace_format_error("trace v2: file shorter than the header");
-  }
-  void* map = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
-  ::close(fd);  // the mapping keeps the file alive
-  if (map == MAP_FAILED) {
-    throw std::runtime_error("trace: mmap failed for " + path);
-  }
-  mapping_ = map;
-  mapping_size_ = size;
-  data_ = static_cast<const std::uint8_t*>(map);
-  size_ = size;
-#else
-  // No mmap on this platform: fall back to reading the file into an owned
-  // buffer (still one parse-free image; just not shared across processes).
-  owned_bytes_ = slurp(path);
-  data_ = owned_bytes_.data();
-  size_ = owned_bytes_.size();
-#endif
+trace_mmap_cursor::trace_mmap_cursor(const std::string& path,
+                                     trace_access access) {
+  file_image img = map_trace_file(path, access);
+  mapping_ = img.mapping;
+  mapping_size_ = img.mapping_size;
+  owned_bytes_ = std::move(img.owned);
+  data_ = mapping_ != nullptr ? img.data : owned_bytes_.data();
+  size_ = img.size;
   validate_header();
 }
 
@@ -440,6 +652,658 @@ std::size_t trace_mmap_cursor::next_run(
   // slots_ mid-run may reallocate and would dangle anything pushed earlier.
   for (std::size_t i = 0; i < n; ++i) out.push_back(&slots_[i]);
   return n;
+}
+
+// --- v3 writer ---------------------------------------------------------------
+
+trace_v3_writer::trace_v3_writer(std::ostream& os,
+                                 std::uint64_t record_capacity,
+                                 std::uint32_t records_per_block)
+    : os_(&os), records_per_block_(records_per_block) {
+  if (records_per_block_ == 0) {
+    throw std::logic_error("trace_v3_writer: records_per_block must be > 0");
+  }
+  index_capacity_ =
+      (record_capacity + records_per_block_ - 1) / records_per_block_;
+  data_offset_ = kTraceV3HeaderBytes +
+                 static_cast<std::uint64_t>(kTraceV3IndexEntryBytes) *
+                     index_capacity_;
+  offset_ = data_offset_;
+  std::uint8_t header[kTraceV3HeaderBytes] = {};
+  std::memcpy(header, kTraceV3Magic, sizeof(kTraceV3Magic));
+  store_le<std::uint32_t>(header + 8, kTraceV3Version);
+  store_le<std::uint32_t>(header + 12, kTraceV3HeaderBytes);
+  // record_count / block_count at 16/24 stay zero until finish() patches.
+  store_le<std::uint64_t>(header + 32, data_offset_);
+  store_le<std::uint64_t>(header + 40, index_capacity_);
+  store_le<std::uint32_t>(header + 48, records_per_block_);
+  os_->write(reinterpret_cast<const char*>(header), sizeof(header));
+  // Reserve the index region as zeros; finish() seeks back and fills it.
+  static constexpr std::size_t kChunk = 1 << 16;
+  std::uint8_t zeros[kChunk] = {};
+  std::uint64_t left =
+      static_cast<std::uint64_t>(kTraceV3IndexEntryBytes) * index_capacity_;
+  while (left > 0) {
+    const std::size_t step =
+        static_cast<std::size_t>(std::min<std::uint64_t>(left, kChunk));
+    os_->write(reinterpret_cast<const char*>(zeros),
+               static_cast<std::streamsize>(step));
+    left -= step;
+  }
+  if (!*os_) throw trace_format_error("trace v3: header write failed");
+  index_.reserve(index_capacity_);
+}
+
+void trace_v3_writer::append(const packet_record& r) {
+  if (finished_) {
+    throw std::logic_error("trace_v3_writer: append after finish");
+  }
+  if (r.ingress_time < last_ingress_) {
+    throw trace_format_error(
+        "trace v3: records must be appended in ingress order");
+  }
+  last_ingress_ = r.ingress_time;
+  if (in_block_ == 0) {
+    block_base_ = r.ingress_time;
+    prev_ingress_ = r.ingress_time;
+    prev_id_ = 0;
+    prev_flow_ = 0;
+  }
+  put_varint(cols_[kColIngress],
+             static_cast<std::uint64_t>(r.ingress_time) -
+                 static_cast<std::uint64_t>(prev_ingress_));
+  prev_ingress_ = r.ingress_time;
+  put_varint(cols_[kColEgress],
+             zigzag(wrap_diff(r.egress_time, r.ingress_time)));
+  put_varint(cols_[kColId],
+             zigzag(static_cast<std::int64_t>(r.id - prev_id_)));
+  prev_id_ = r.id;
+  put_varint(cols_[kColFlow],
+             zigzag(static_cast<std::int64_t>(r.flow_id - prev_flow_)));
+  prev_flow_ = r.flow_id;
+  put_varint(cols_[kColSeq], r.seq_in_flow);
+  put_varint(cols_[kColSize], r.size_bytes);
+  put_varint(cols_[kColSrc], zigzag(r.src_host));
+  put_varint(cols_[kColDst], zigzag(r.dst_host));
+  put_varint(cols_[kColQdelay], zigzag(r.queueing_delay));
+  put_varint(cols_[kColFlowSize], r.flow_size_bytes);
+  put_varint(cols_[kColPathLen], r.path.size());
+  for (const node_id n : r.path) put_varint(cols_[kColPath], zigzag(n));
+  put_varint(cols_[kColDepartsLen], r.hop_departs.size());
+  sim::time_ps prev_depart = r.ingress_time;
+  for (const sim::time_ps d : r.hop_departs) {
+    put_varint(cols_[kColDeparts], zigzag(wrap_diff(d, prev_depart)));
+    prev_depart = d;
+  }
+  ++in_block_;
+  ++written_;
+  if (in_block_ == records_per_block_) flush_block();
+}
+
+void trace_v3_writer::flush_block() {
+  if (in_block_ == 0) return;
+  if (index_.size() == index_capacity_) {
+    throw trace_format_error(
+        "trace v3: writer exceeded its declared record capacity");
+  }
+  std::uint64_t bytes = kTraceV3BlockHeaderBytes;
+  for (const auto& col : cols_) bytes += col.size();
+  if (bytes > UINT32_MAX) {
+    throw trace_format_error("trace v3: block exceeds 4 GiB");
+  }
+  block_buf_.clear();
+  block_buf_.resize(kTraceV3BlockHeaderBytes);
+  std::uint8_t* h = block_buf_.data();
+  store_le<std::uint32_t>(h, in_block_);
+  store_le<std::uint32_t>(h + 4, static_cast<std::uint32_t>(bytes));
+  store_le<std::int64_t>(h + 8, block_base_);
+  store_le<std::int64_t>(h + 16, prev_ingress_);  // block max ingress
+  for (std::size_t c = 0; c < kTraceV3ColumnCount; ++c) {
+    store_le<std::uint32_t>(h + 24 + 4 * c,
+                            static_cast<std::uint32_t>(cols_[c].size()));
+  }
+  for (auto& col : cols_) {
+    block_buf_.insert(block_buf_.end(), col.begin(), col.end());
+    col.clear();
+  }
+  os_->write(reinterpret_cast<const char*>(block_buf_.data()),
+             static_cast<std::streamsize>(block_buf_.size()));
+  if (!*os_) throw trace_format_error("trace v3: block write failed");
+  index_.push_back({offset_, bytes, block_base_, prev_ingress_});
+  offset_ += bytes;
+  in_block_ = 0;
+}
+
+void trace_v3_writer::finish() {
+  if (finished_) {
+    throw std::logic_error("trace_v3_writer: finish called twice");
+  }
+  flush_block();
+  finished_ = true;
+  block_buf_.clear();
+  for (const auto& e : index_) {
+    append_le<std::uint64_t>(block_buf_, e.offset);
+    append_le<std::uint64_t>(block_buf_, e.bytes);
+    append_le<std::int64_t>(block_buf_, e.min_ingress);
+    append_le<std::int64_t>(block_buf_, e.max_ingress);
+  }
+  os_->seekp(kTraceV3HeaderBytes);
+  os_->write(reinterpret_cast<const char*>(block_buf_.data()),
+             static_cast<std::streamsize>(block_buf_.size()));
+  os_->seekp(16);
+  block_buf_.clear();
+  append_le<std::uint64_t>(block_buf_, written_);
+  append_le<std::uint64_t>(block_buf_, index_.size());
+  os_->write(reinterpret_cast<const char*>(block_buf_.data()), 16);
+  os_->seekp(0, std::ios::end);
+  os_->flush();
+  if (!*os_) throw trace_format_error("trace v3: index write failed");
+}
+
+void write_trace_v3(std::ostream& os, const trace& t) {
+  // Emit in (ingress, position) order — the stable tie-break
+  // trace_ingress_cursor uses — so any input order produces the same file
+  // and the same replay as the v1/v2 paths.
+  std::vector<std::uint32_t> order(t.packets.size());
+  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return t.packets[a].ingress_time <
+                            t.packets[b].ingress_time;
+                   });
+  trace_v3_writer w(os, t.packets.size());
+  for (const std::uint32_t i : order) w.append(t.packets[i]);
+  w.finish();
+}
+
+void save_trace_v3(const std::string& path, const trace& t) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("trace: cannot open " + path);
+  write_trace_v3(os, t);
+}
+
+trace read_trace_v3(const std::uint8_t* data, std::size_t size) {
+  trace_v3_cursor cur(data, size);
+  trace t;
+  t.packets.reserve(cur.size_hint());
+  while (const packet_record* r = cur.next()) t.packets.push_back(*r);
+  return t;
+}
+
+trace load_trace_v3(const std::string& path) {
+  trace_v3_cursor cur(path);
+  trace t;
+  t.packets.reserve(cur.size_hint());
+  while (const packet_record* r = cur.next()) t.packets.push_back(*r);
+  return t;
+}
+
+// --- v3 cursor ---------------------------------------------------------------
+
+trace_v3_cursor::trace_v3_cursor(const std::string& path,
+                                 trace_access access) {
+  file_image img = map_trace_file(path, access);
+  mapping_ = img.mapping;
+  mapping_size_ = img.mapping_size;
+  owned_bytes_ = std::move(img.owned);
+  data_ = mapping_ != nullptr ? img.data : owned_bytes_.data();
+  size_ = img.size;
+  validate_header_and_index();
+}
+
+trace_v3_cursor::trace_v3_cursor(const std::uint8_t* data, std::size_t size)
+    : data_(data), size_(size) {
+  validate_header_and_index();
+}
+
+trace_v3_cursor::~trace_v3_cursor() {
+#if UPS_TRACE_HAVE_MMAP
+  if (mapping_ != nullptr) ::munmap(mapping_, mapping_size_);
+#endif
+}
+
+void trace_v3_cursor::validate_header_and_index() {
+  const v3_header_fields h = check_v3_header(data_, size_);
+  count_ = h.record_count;
+  block_count_ = h.block_count;
+  data_offset_ = h.data_offset;
+  index_capacity_ = h.index_capacity;
+  records_per_block_ = h.records_per_block;
+  // One pass over the leading index pins down every block's placement
+  // before any decode: blocks must tile [data_offset, file end) exactly and
+  // carry non-decreasing ingress bounds. After this, seeks can trust any
+  // entry without re-checking, and truncation or trailing garbage is caught
+  // here rather than mid-replay.
+  std::uint64_t end = data_offset_;
+  sim::time_ps prev_max = INT64_MIN;
+  for (std::uint64_t b = 0; b < block_count_; ++b) {
+    const block_bounds e = bounds_at(b);
+    if (e.bytes < kTraceV3BlockHeaderBytes) {
+      throw trace_format_error("trace v3: block smaller than its header");
+    }
+    if (e.offset != end) {
+      throw trace_format_error("trace v3: index entry out of place");
+    }
+    if (e.bytes > size_ - e.offset) {  // e.offset <= size_ by induction
+      throw trace_format_error("trace v3: block out of bounds");
+    }
+    if (e.min_ingress > e.max_ingress || e.min_ingress < prev_max) {
+      throw trace_format_error("trace v3: block index out of order");
+    }
+    prev_max = e.max_ingress;
+    end = e.offset + e.bytes;
+  }
+  if (end != size_) {
+    throw trace_format_error(
+        "trace v3: file size disagrees with the block index");
+  }
+}
+
+trace_v3_cursor::block_bounds trace_v3_cursor::bounds_at(
+    std::uint64_t b) const {
+  if (b >= index_capacity_) {
+    throw std::out_of_range("trace v3: block index out of range");
+  }
+  const std::uint8_t* e =
+      data_ + kTraceV3HeaderBytes + kTraceV3IndexEntryBytes * b;
+  block_bounds out;
+  out.offset = load_le<std::uint64_t>(e);
+  out.bytes = load_le<std::uint64_t>(e + 8);
+  out.min_ingress = load_le<std::int64_t>(e + 16);
+  out.max_ingress = load_le<std::int64_t>(e + 24);
+  return out;
+}
+
+std::uint32_t trace_v3_cursor::records_in_block(std::uint64_t b) const {
+  if (b >= block_count_) {
+    throw std::out_of_range("trace v3: block index out of range");
+  }
+  return load_le<std::uint32_t>(data_ + bounds_at(b).offset);
+}
+
+std::array<std::uint32_t, kTraceV3ColumnCount> trace_v3_cursor::column_bytes_at(
+    std::uint64_t b) const {
+  if (b >= block_count_) {
+    throw std::out_of_range("trace v3: block index out of range");
+  }
+  const std::uint8_t* h = data_ + bounds_at(b).offset;
+  std::array<std::uint32_t, kTraceV3ColumnCount> out{};
+  for (std::size_t c = 0; c < kTraceV3ColumnCount; ++c) {
+    out[c] = load_le<std::uint32_t>(h + 24 + 4 * c);
+  }
+  return out;
+}
+
+
+void trace_v3_cursor::load_block(std::uint64_t b) {
+  const block_bounds e = bounds_at(b);
+  const std::uint8_t* p = data_ + e.offset;
+  const std::uint32_t n = load_le<std::uint32_t>(p);
+  const std::uint32_t block_bytes = load_le<std::uint32_t>(p + 4);
+  const sim::time_ps base = load_le<std::int64_t>(p + 8);
+  const sim::time_ps bmax = load_le<std::int64_t>(p + 16);
+  if (n == 0 || n > records_per_block_) {
+    throw trace_format_error("trace v3: block record count out of range");
+  }
+  if (block_bytes != e.bytes || base != e.min_ingress ||
+      bmax != e.max_ingress) {
+    throw trace_format_error(
+        "trace v3: block header disagrees with the index");
+  }
+  std::uint32_t col_bytes[kTraceV3ColumnCount];
+  std::uint64_t total = kTraceV3BlockHeaderBytes;
+  for (std::size_t c = 0; c < kTraceV3ColumnCount; ++c) {
+    col_bytes[c] = load_le<std::uint32_t>(p + 24 + 4 * c);
+    total += col_bytes[c];
+  }
+  if (total != e.bytes) {
+    throw trace_format_error(
+        "trace v3: column sizes disagree with the block size");
+  }
+  const std::uint8_t* col[kTraceV3ColumnCount];
+  {
+    const std::uint8_t* q = p + kTraceV3BlockHeaderBytes;
+    for (std::size_t c = 0; c < kTraceV3ColumnCount; ++c) {
+      col[c] = q;
+      q += col_bytes[c];
+    }
+  }
+  // Each column decodes in its own tight loop over a contiguous byte run;
+  // get_varint enforces the column end, and the `s != end` checks below
+  // catch columns with leftover bytes. resize() reuses capacity — after the
+  // first full block no steady-state allocation happens here.
+  ingress_.resize(n);
+  egress_.resize(n);
+  qdelay_.resize(n);
+  id_.resize(n);
+  flow_.resize(n);
+  fsize_.resize(n);
+  seq_.resize(n);
+  psize_.resize(n);
+  src_.resize(n);
+  dst_.resize(n);
+  path_pos_.resize(n + 1);
+  departs_pos_.resize(n + 1);
+  {
+    const std::uint8_t* s = col[kColIngress];
+    const std::uint8_t* send = s + col_bytes[kColIngress];
+    std::uint64_t cum = static_cast<std::uint64_t>(base);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const std::uint64_t d = get_varint(s, send);
+      cum += d;
+      const sim::time_ps t = static_cast<sim::time_ps>(cum);
+      if (i == 0) {
+        if (d != 0) {
+          throw trace_format_error(
+              "trace v3: first ingress delta must be zero");
+        }
+      } else if (t < ingress_[i - 1]) {
+        throw trace_format_error(
+            "trace v3: ingress not monotone within a block");
+      }
+      ingress_[i] = t;
+    }
+    if (s != send) {
+      throw trace_format_error("trace v3: ingress column has leftover bytes");
+    }
+    if (ingress_[n - 1] != bmax) {
+      throw trace_format_error(
+          "trace v3: last ingress disagrees with the block bound");
+    }
+  }
+  {
+    const std::uint8_t* s = col[kColEgress];
+    const std::uint8_t* send = s + col_bytes[kColEgress];
+    for (std::uint32_t i = 0; i < n; ++i) {
+      egress_[i] = wrap_add(ingress_[i], unzigzag(get_varint(s, send)));
+    }
+    if (s != send) {
+      throw trace_format_error("trace v3: egress column has leftover bytes");
+    }
+  }
+  {
+    const std::uint8_t* s = col[kColId];
+    const std::uint8_t* send = s + col_bytes[kColId];
+    std::uint64_t cum = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      cum += static_cast<std::uint64_t>(unzigzag(get_varint(s, send)));
+      id_[i] = cum;
+    }
+    if (s != send) {
+      throw trace_format_error("trace v3: id column has leftover bytes");
+    }
+  }
+  {
+    const std::uint8_t* s = col[kColFlow];
+    const std::uint8_t* send = s + col_bytes[kColFlow];
+    std::uint64_t cum = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      cum += static_cast<std::uint64_t>(unzigzag(get_varint(s, send)));
+      flow_[i] = cum;
+    }
+    if (s != send) {
+      throw trace_format_error("trace v3: flow column has leftover bytes");
+    }
+  }
+  {
+    const std::uint8_t* s = col[kColSeq];
+    const std::uint8_t* send = s + col_bytes[kColSeq];
+    for (std::uint32_t i = 0; i < n; ++i) {
+      seq_[i] = narrow_u32(get_varint(s, send), "seq");
+    }
+    if (s != send) {
+      throw trace_format_error("trace v3: seq column has leftover bytes");
+    }
+  }
+  {
+    const std::uint8_t* s = col[kColSize];
+    const std::uint8_t* send = s + col_bytes[kColSize];
+    for (std::uint32_t i = 0; i < n; ++i) {
+      psize_[i] = narrow_u32(get_varint(s, send), "size");
+    }
+    if (s != send) {
+      throw trace_format_error("trace v3: size column has leftover bytes");
+    }
+  }
+  {
+    const std::uint8_t* s = col[kColSrc];
+    const std::uint8_t* send = s + col_bytes[kColSrc];
+    for (std::uint32_t i = 0; i < n; ++i) {
+      src_[i] = narrow_node(unzigzag(get_varint(s, send)), "src");
+    }
+    if (s != send) {
+      throw trace_format_error("trace v3: src column has leftover bytes");
+    }
+  }
+  {
+    const std::uint8_t* s = col[kColDst];
+    const std::uint8_t* send = s + col_bytes[kColDst];
+    for (std::uint32_t i = 0; i < n; ++i) {
+      dst_[i] = narrow_node(unzigzag(get_varint(s, send)), "dst");
+    }
+    if (s != send) {
+      throw trace_format_error("trace v3: dst column has leftover bytes");
+    }
+  }
+  {
+    const std::uint8_t* s = col[kColQdelay];
+    const std::uint8_t* send = s + col_bytes[kColQdelay];
+    for (std::uint32_t i = 0; i < n; ++i) {
+      qdelay_[i] = unzigzag(get_varint(s, send));
+    }
+    if (s != send) {
+      throw trace_format_error("trace v3: qdelay column has leftover bytes");
+    }
+  }
+  {
+    const std::uint8_t* s = col[kColFlowSize];
+    const std::uint8_t* send = s + col_bytes[kColFlowSize];
+    for (std::uint32_t i = 0; i < n; ++i) {
+      fsize_[i] = get_varint(s, send);
+    }
+    if (s != send) {
+      throw trace_format_error("trace v3: flowsz column has leftover bytes");
+    }
+  }
+  // Length columns bound the data columns before anything is sized: every
+  // element needs at least one byte, so a corrupt length claiming more
+  // elements than its data column holds bytes is rejected here — never
+  // turned into a resize (an allocation bomb) that fails later.
+  {
+    const std::uint8_t* s = col[kColPathLen];
+    const std::uint8_t* send = s + col_bytes[kColPathLen];
+    // Hop-free traces (the default recording mode) store n zero plens and
+    // an empty path column; one vectorized scan replaces n varint decodes.
+    if (col_bytes[kColPath] == 0 && col_bytes[kColPathLen] == n &&
+        std::all_of(s, send, [](std::uint8_t b) { return b == 0; })) {
+      std::fill(path_pos_.begin(), path_pos_.end(), 0u);
+      path_flat_.clear();
+    } else {
+      std::uint64_t tot = 0;
+      path_pos_[0] = 0;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        tot += get_varint(s, send);
+        if (tot > col_bytes[kColPath]) {
+          throw trace_format_error(
+              "trace v3: path lengths exceed the path column");
+        }
+        path_pos_[i + 1] = static_cast<std::uint32_t>(tot);
+      }
+      if (s != send) {
+        throw trace_format_error("trace v3: plen column has leftover bytes");
+      }
+      path_flat_.resize(static_cast<std::size_t>(tot));
+      const std::uint8_t* ps = col[kColPath];
+      const std::uint8_t* pend = ps + col_bytes[kColPath];
+      for (std::size_t k = 0; k < path_flat_.size(); ++k) {
+        path_flat_[k] = narrow_node(unzigzag(get_varint(ps, pend)), "hop");
+      }
+      if (ps != pend) {
+        throw trace_format_error("trace v3: path column has leftover bytes");
+      }
+    }
+  }
+  {
+    const std::uint8_t* s = col[kColDepartsLen];
+    const std::uint8_t* send = s + col_bytes[kColDepartsLen];
+    if (col_bytes[kColDeparts] == 0 && col_bytes[kColDepartsLen] == n &&
+        std::all_of(s, send, [](std::uint8_t b) { return b == 0; })) {
+      std::fill(departs_pos_.begin(), departs_pos_.end(), 0u);
+      departs_flat_.clear();
+    } else {
+      std::uint64_t tot = 0;
+      departs_pos_[0] = 0;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        tot += get_varint(s, send);
+        if (tot > col_bytes[kColDeparts]) {
+          throw trace_format_error(
+              "trace v3: departs lengths exceed the departs column");
+        }
+        departs_pos_[i + 1] = static_cast<std::uint32_t>(tot);
+      }
+      if (s != send) {
+        throw trace_format_error("trace v3: dlen column has leftover bytes");
+      }
+      departs_flat_.resize(static_cast<std::size_t>(tot));
+      const std::uint8_t* ds = col[kColDeparts];
+      const std::uint8_t* dend = ds + col_bytes[kColDeparts];
+      for (std::uint32_t i = 0; i < n; ++i) {
+        sim::time_ps prev = ingress_[i];
+        for (std::uint32_t j = departs_pos_[i]; j < departs_pos_[i + 1];
+             ++j) {
+          prev = wrap_add(prev, unzigzag(get_varint(ds, dend)));
+          departs_flat_[j] = prev;
+        }
+      }
+      if (ds != dend) {
+        throw trace_format_error(
+            "trace v3: departs column has leftover bytes");
+      }
+    }
+  }
+  // Assemble the whole block once; next()/next_run() then serve pointers
+  // into records_ with no per-record copying. Never shrink records_ — the
+  // final short block would otherwise destroy warmed slot capacities and a
+  // post-seek re-drain would have to reallocate them.
+  if (records_.size() < n) records_.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) assemble(i, records_[i]);
+  block_n_ = n;
+  block_pos_ = 0;
+}
+
+bool trace_v3_cursor::ensure_block() {
+  if (block_pos_ < block_n_) return true;
+  if (next_block_ >= block_count_) return false;
+  load_block(next_block_);
+  cur_block_ = next_block_++;
+  return true;
+}
+
+void trace_v3_cursor::assemble(std::uint32_t i, packet_record& r) const {
+  r.id = id_[i];
+  r.flow_id = flow_[i];
+  r.seq_in_flow = seq_[i];
+  r.size_bytes = psize_[i];
+  r.src_host = src_[i];
+  r.dst_host = dst_[i];
+  r.ingress_time = ingress_[i];
+  r.egress_time = egress_[i];
+  r.queueing_delay = qdelay_[i];
+  r.flow_size_bytes = fsize_[i];
+  // assign() reuses the slot's vector capacity — no steady-state allocation.
+  r.path.assign(path_flat_.begin() + path_pos_[i],
+                path_flat_.begin() + path_pos_[i + 1]);
+  r.hop_departs.assign(departs_flat_.begin() + departs_pos_[i],
+                       departs_flat_.begin() + departs_pos_[i + 1]);
+}
+
+const packet_record* trace_v3_cursor::next() {
+  if (!ensure_block()) {
+    if (!seeked_ && served_ != count_) {
+      throw trace_format_error(
+          "trace v3: blocks disagree with the declared record count");
+    }
+    return nullptr;
+  }
+  ++served_;
+  return &records_[block_pos_++];
+}
+
+std::size_t trace_v3_cursor::next_run(
+    std::vector<const packet_record*>& out) {
+  if (!ensure_block()) {
+    if (!seeked_ && served_ != count_) {
+      throw trace_format_error(
+          "trace v3: blocks disagree with the declared record count");
+    }
+    return 0;
+  }
+  // Run detection is an array scan over the decoded ingress column. Almost
+  // every run ends inside the current block (or the file); those are served
+  // as pointers straight into records_. Whether a block-final run continues
+  // is read off the next block's index bound — no speculative block load.
+  const sim::time_ps t = ingress_[block_pos_];
+  std::uint32_t j = block_pos_ + 1;
+  while (j < block_n_ && ingress_[j] == t) ++j;
+  if (j < block_n_ || next_block_ >= block_count_ ||
+      bounds_at(next_block_).min_ingress != t) {
+    const std::size_t n = j - block_pos_;
+    for (std::uint32_t i = block_pos_; i < j; ++i) {
+      out.push_back(&records_[i]);
+    }
+    served_ += n;
+    block_pos_ = j;
+    return n;
+  }
+  // The run crosses into the next block: loading it reuses the per-block
+  // arrays, so this tail is copied into slots_ instead.
+  std::size_t n = 0;
+  for (;;) {
+    if (n == slots_.size()) slots_.emplace_back();
+    slots_[n] = records_[block_pos_++];
+    ++n;
+    ++served_;
+    if (!ensure_block()) break;
+    if (ingress_[block_pos_] != t) break;
+  }
+  // Publish only after the run is fully assembled: growing slots_ mid-run
+  // may reallocate and would dangle anything pushed earlier.
+  for (std::size_t i = 0; i < n; ++i) out.push_back(&slots_[i]);
+  return n;
+}
+
+std::uint64_t trace_v3_cursor::current_block() const noexcept {
+  return block_pos_ < block_n_ ? cur_block_ : next_block_;
+}
+
+void trace_v3_cursor::seek_to_block(std::uint64_t b) {
+  if (b > block_count_) {
+    throw std::out_of_range("trace v3: block index out of range");
+  }
+  seeked_ = true;
+  served_ = 0;
+  next_block_ = b;
+  cur_block_ = UINT64_MAX;
+  block_n_ = 0;
+  block_pos_ = 0;
+}
+
+void trace_v3_cursor::seek_lower_bound(sim::time_ps t) {
+  // Binary search the index bounds for the first block whose max ingress
+  // reaches t, then skip within it. Touches header + index pages plus the
+  // one target block — never the tail.
+  std::uint64_t lo = 0, hi = block_count_;
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    if (bounds_at(mid).max_ingress < t) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  seek_to_block(lo);
+  if (!ensure_block()) return;  // t is past the last record
+  while (block_pos_ < block_n_ && ingress_[block_pos_] < t) ++block_pos_;
 }
 
 }  // namespace ups::net

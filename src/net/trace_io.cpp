@@ -53,18 +53,24 @@ void expect_clean_end(std::istream& is) {
 
 }  // namespace
 
+void write_trace_header(std::ostream& os, std::size_t record_count) {
+  os << kMagic << "\n" << record_count << "\n";
+}
+
+void write_trace_record(std::ostream& os, const packet_record& r) {
+  os << r.id << ' ' << r.flow_id << ' ' << r.seq_in_flow << ' '
+     << r.size_bytes << ' ' << r.src_host << ' ' << r.dst_host << ' '
+     << r.ingress_time << ' ' << r.egress_time << ' ' << r.queueing_delay
+     << ' ' << r.flow_size_bytes << ' ' << r.path.size();
+  for (const auto n : r.path) os << ' ' << n;
+  os << ' ' << r.hop_departs.size();
+  for (const auto d : r.hop_departs) os << ' ' << d;
+  os << '\n';
+}
+
 void write_trace(std::ostream& os, const trace& t) {
-  os << kMagic << "\n" << t.packets.size() << "\n";
-  for (const auto& r : t.packets) {
-    os << r.id << ' ' << r.flow_id << ' ' << r.seq_in_flow << ' '
-       << r.size_bytes << ' ' << r.src_host << ' ' << r.dst_host << ' '
-       << r.ingress_time << ' ' << r.egress_time << ' ' << r.queueing_delay
-       << ' ' << r.flow_size_bytes << ' ' << r.path.size();
-    for (const auto n : r.path) os << ' ' << n;
-    os << ' ' << r.hop_departs.size();
-    for (const auto d : r.hop_departs) os << ' ' << d;
-    os << '\n';
-  }
+  write_trace_header(os, t.packets.size());
+  for (const auto& r : t.packets) write_trace_record(os, r);
 }
 
 trace read_trace(std::istream& is) {
@@ -153,11 +159,15 @@ trace load_trace(const std::string& path) {
   return read_trace(is);
 }
 
-std::unique_ptr<trace_cursor> open_trace_cursor(const std::string& path) {
-  if (is_trace_v2_file(path)) {
-    return std::make_unique<trace_mmap_cursor>(path);
+std::unique_ptr<trace_cursor> open_trace_cursor(const std::string& path,
+                                                trace_access access) {
+  if (is_trace_v3_file(path)) {
+    return std::make_unique<trace_v3_cursor>(path, access);
   }
-  // Not v2: hand it to the text reader, whose magic check produces the
+  if (is_trace_v2_file(path)) {
+    return std::make_unique<trace_mmap_cursor>(path, access);
+  }
+  // Not binary: hand it to the text reader, whose magic check produces the
   // error for anything that is not a trace at all.
   return std::make_unique<trace_stream_reader>(path);
 }

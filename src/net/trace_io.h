@@ -15,11 +15,19 @@
 #include <vector>
 
 #include "net/trace.h"
+#include "net/trace_binary.h"  // trace_access, sniffed binary cursors
 
 namespace ups::net {
 
 void write_trace(std::ostream& os, const trace& t);
 [[nodiscard]] trace read_trace(std::istream& is);
+
+// Streaming v1 emission: header (magic + declared count) then one record
+// per call. write_trace() is the batch wrapper; the pieces are exposed so a
+// binary -> text converter can stream a trace it never materializes (the
+// caller knows the count upfront from the binary header).
+void write_trace_header(std::ostream& os, std::size_t record_count);
+void write_trace_record(std::ostream& os, const packet_record& r);
 
 void save_trace(const std::string& path, const trace& t);
 [[nodiscard]] trace load_trace(const std::string& path);
@@ -66,10 +74,14 @@ class trace_stream_reader final : public trace_cursor {
 };
 
 // Opens the right cursor for an on-disk trace by sniffing its leading
-// bytes: a zero-copy trace_mmap_cursor for the v2 binary format (yields
-// ingress order via the footer index), a trace_stream_reader for v1 text
-// (yields file order — pair with a sort_by_ingress()ed file for replay).
+// bytes: a block-decoding trace_v3_cursor for v3, a zero-copy
+// trace_mmap_cursor for the v2 binary format (both yield ingress order), a
+// trace_stream_reader for v1 text (yields file order — pair with a
+// sort_by_ingress()ed file for replay). `access` tunes the page-cache
+// advice for the binary cursors (sequential drain vs block seeks) and is
+// ignored for text.
 [[nodiscard]] std::unique_ptr<trace_cursor> open_trace_cursor(
-    const std::string& path);
+    const std::string& path,
+    trace_access access = trace_access::sequential);
 
 }  // namespace ups::net

@@ -71,6 +71,7 @@ const char* to_string(source_kind k) {
     case source_kind::paced: return "paced";
     case source_kind::closed_loop: return "closed-loop";
     case source_kind::incast: return "incast";
+    case source_kind::mixed: return "mixed";
   }
   return "?";
 }
@@ -107,6 +108,24 @@ source_kind parse_workload(const std::string& s, source_tuning& tune) {
     if (!knob.empty()) tune.incast_degree = parse_knob_uint(knob, s);
     return source_kind::incast;
   }
+  if (name == "mixed") {
+    // Up to three colon-separated knobs: degree, outstanding, share.
+    std::string rest = knob;
+    std::string parts[3];
+    std::size_t np = 0;
+    while (!rest.empty() && np < 3) {
+      const auto colon = rest.find(':');
+      parts[np++] = rest.substr(0, colon);
+      rest = colon == std::string::npos ? "" : rest.substr(colon + 1);
+    }
+    if (!rest.empty()) {
+      throw std::invalid_argument("bad workload knob in: " + s);
+    }
+    if (!parts[0].empty()) tune.incast_degree = parse_knob_uint(parts[0], s);
+    if (!parts[1].empty()) tune.outstanding = parse_knob_uint(parts[1], s);
+    if (!parts[2].empty()) tune.incast_share = parse_knob_double(parts[2], s);
+    return source_kind::mixed;
+  }
   throw std::invalid_argument("unknown workload kind: " + s);
 }
 
@@ -119,6 +138,7 @@ open_loop_source::open_loop_source(net::network& net,
                                    std::vector<flow_spec> flows,
                                    source_options opt)
     : net_(net), flows_(std::move(flows)), opt_(std::move(opt)) {
+  next_packet_id_ = opt_.first_packet_id;
   for (std::size_t i = 0; i < flows_.size(); ++i) {
     net_.sim().schedule_at(flows_[i].start,
                            [this, i] { emit_flow(flows_[i]); });
@@ -144,6 +164,7 @@ paced_source::paced_source(net::network& net, std::vector<flow_spec> flows,
   if (!(fraction_ > 0.0)) {
     throw std::invalid_argument("paced_source: pacing fraction must be > 0");
   }
+  next_packet_id_ = opt_.first_packet_id;
   for (std::size_t i = 0; i < flows_.size(); ++i) {
     net_.sim().schedule_at(flows_[i].start, [this, i] { start_flow(i); });
   }
@@ -249,6 +270,7 @@ closed_loop_source::closed_loop_source(net::network& net,
   if (bound_ == 0) {
     throw std::invalid_argument("closed_loop_source: outstanding must be >= 1");
   }
+  next_packet_id_ = opt_.first_packet_id;
   if (via_tcp) {
     tcp_ = std::make_unique<transport::tcp_manager>(net_,
                                                     transport::tcp_config{});
@@ -356,6 +378,7 @@ incast_source::incast_source(net::network& net,
                              std::vector<incast_epoch> epochs,
                              source_options opt)
     : net_(net), epochs_(std::move(epochs)), opt_(std::move(opt)) {
+  next_packet_id_ = opt_.first_packet_id;
   for (std::size_t e = 0; e < epochs_.size(); ++e) {
     net_.sim().schedule_at(epochs_[e].barrier, [this, e] { fire_epoch(e); });
   }
@@ -382,13 +405,84 @@ void incast_source::emit_sender(std::size_t e, std::size_t s) {
   ++flows_emitted_;
 }
 
+// --- mixed_source ------------------------------------------------------------
+
+mixed_source::mixed_source(net::network& net,
+                           std::vector<flow_spec> background_flows,
+                           std::uint32_t max_outstanding, bool via_tcp,
+                           std::vector<incast_epoch> epochs,
+                           source_options background_opt,
+                           source_options incast_opt)
+    : background_(net, std::move(background_flows), max_outstanding, via_tcp,
+                  std::move(background_opt)),
+      incast_(net, std::move(epochs), std::move(incast_opt)) {}
+
 // --- make_source -------------------------------------------------------------
+
+namespace {
+
+// Calibrates and constructs the two halves of a mixed workload. Each half
+// is generated against its share of the offered load and packet budget so
+// the aggregate stays at the scenario's utilization; flow-id and packet-id
+// ranges are made disjoint afterwards (the closed loop matches completions
+// by flow id; replay sorts outcomes by packet id).
+source_run make_mixed_source(net::network& net, const topo::topology& topo,
+                             const flow_size_dist& dist,
+                             const workload_config& cfg,
+                             const source_tuning& tune, source_options opt) {
+  const double share = tune.incast_share;
+  if (!(share >= 0.0) || !(share < 1.0)) {
+    throw std::invalid_argument(
+        "mixed workload: incast share must be in [0, 1)");
+  }
+  workload_config bg_cfg = cfg;
+  bg_cfg.utilization = cfg.utilization * (1.0 - share);
+  const auto incast_budget =
+      static_cast<std::uint64_t>(static_cast<double>(cfg.packet_budget) *
+                                 share);
+  bg_cfg.packet_budget = cfg.packet_budget - incast_budget;
+  auto bg = generate(net, topo, dist, bg_cfg);
+
+  workload_config in_cfg = cfg;
+  in_cfg.utilization = cfg.utilization * share;
+  in_cfg.packet_budget = incast_budget;
+  in_cfg.seed = cfg.seed + 1;  // independent stream from the background
+  auto in = share > 0.0
+                ? generate_incast(net, topo, dist, in_cfg, tune.incast_degree,
+                                  tune.barrier_jitter)
+                : incast_workload{};
+
+  // Both generators number flows from 1; shift the epochs past the
+  // background's range.
+  const std::uint64_t bg_flows = bg.flows.size();
+  for (auto& ep : in.epochs) ep.first_flow_id += bg_flows;
+
+  source_options bg_opt = opt;
+  source_options in_opt = std::move(opt);
+  in_opt.first_packet_id = bg_opt.first_packet_id + bg.total_packets;
+
+  source_run out;
+  out.per_host_rate_bps = bg.per_host_rate_bps + in.per_host_rate_bps;
+  out.max_link_utilization =
+      bg.max_link_utilization + in.max_link_utilization;
+  out.planned_packets = bg.total_packets + in.total_packets;
+  out.planned_flows = bg_flows + in.flow_count;
+  out.src = std::make_unique<mixed_source>(
+      net, std::move(bg.flows), tune.outstanding, tune.via_tcp,
+      std::move(in.epochs), std::move(bg_opt), std::move(in_opt));
+  return out;
+}
+
+}  // namespace
 
 source_run make_source(net::network& net, const topo::topology& topo,
                        const flow_size_dist& dist, const workload_config& cfg,
                        source_kind kind, const source_tuning& tune,
                        source_options opt) {
   source_run out;
+  if (kind == source_kind::mixed) {
+    return make_mixed_source(net, topo, dist, cfg, tune, std::move(opt));
+  }
   if (kind == source_kind::incast) {
     auto wl = generate_incast(net, topo, dist, cfg, tune.incast_degree,
                               tune.barrier_jitter);
@@ -420,6 +514,7 @@ source_run make_source(net::network& net, const topo::topology& topo,
           std::move(opt));
       break;
     case source_kind::incast:
+    case source_kind::mixed:
       break;  // handled above
   }
   return out;

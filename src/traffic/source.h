@@ -22,6 +22,12 @@
 //   incast       synchronized N-to-1 fan-in epochs: `incast_degree` senders
 //                aim one flow each at a shared victim, starting within
 //                `barrier_jitter` of the epoch barrier
+//   mixed        incast epochs layered over a closed-loop background: the
+//                offered load and packet budget split by `incast_share`,
+//                each half calibrated independently so the aggregate stays
+//                at the scenario's utilization. The RocketFuel-scale bench
+//                workload — steady request-response traffic punctuated by
+//                fan-in bursts
 #pragma once
 
 #include <cstdint>
@@ -45,7 +51,13 @@ namespace ups::traffic {
 // heuristics (or priority stamping) initialize the scheduling header.
 using header_stamper = std::function<void(net::packet&)>;
 
-enum class source_kind : std::uint8_t { open_loop, paced, closed_loop, incast };
+enum class source_kind : std::uint8_t {
+  open_loop,
+  paced,
+  closed_loop,
+  incast,
+  mixed,
+};
 
 [[nodiscard]] const char* to_string(source_kind k);
 
@@ -67,12 +79,16 @@ struct source_tuning {
   std::uint32_t incast_degree = 8;
   // incast: sender starts are jittered uniformly in [0, barrier_jitter].
   sim::time_ps barrier_jitter = 10 * sim::kMicrosecond;
+  // mixed: fraction of the offered load (and packet budget) carried by the
+  // incast epochs; the rest runs as the closed-loop background.
+  double incast_share = 0.25;
 };
 
 // Parses a workload name into a kind, applying any ":knob" suffix to
 // `tune`: "open-loop", "paced[:frac]", "closed-loop[:outstanding]",
-// "closed-loop-tcp[:outstanding]", "incast[:degree]". Throws
-// std::invalid_argument on an unknown name.
+// "closed-loop-tcp[:outstanding]", "incast[:degree]",
+// "mixed[:degree[:outstanding[:share]]]". Throws std::invalid_argument on
+// an unknown name.
 [[nodiscard]] source_kind parse_workload(const std::string& s,
                                          source_tuning& tune);
 
@@ -80,6 +96,11 @@ struct source_options {
   std::uint32_t mtu_bytes = 1500;
   bool record_hops = false;
   header_stamper stamper;  // optional
+  // First packet id this source assigns (then increments per packet).
+  // Composite sources give each member a disjoint range: replay sorts
+  // outcomes by packet id, so duplicate ids across members would break the
+  // serial-vs-sharded identity invariant.
+  std::uint64_t first_packet_id = 1;
 };
 
 // Event-driven traffic source. Construction arms the wake events; the
@@ -275,6 +296,47 @@ class incast_source final : public source {
   std::uint64_t packets_emitted_ = 0;
   std::uint64_t flows_emitted_ = 0;
   std::uint64_t epochs_fired_ = 0;
+};
+
+// Incast epochs over a closed-loop background, each pre-calibrated to its
+// share of the offered load (make_source does the split). The members get
+// disjoint packet-id and flow-id ranges — the closed loop matches
+// completions by flow id, so a collision would let an incast delivery free
+// a background window slot.
+class mixed_source final : public source {
+ public:
+  mixed_source(net::network& net, std::vector<flow_spec> background_flows,
+               std::uint32_t max_outstanding, bool via_tcp,
+               std::vector<incast_epoch> epochs, source_options background_opt,
+               source_options incast_opt);
+
+  [[nodiscard]] source_kind kind() const noexcept override {
+    return source_kind::mixed;
+  }
+  [[nodiscard]] std::uint64_t packets_emitted() const noexcept override {
+    return background_.packets_emitted() + incast_.packets_emitted();
+  }
+  [[nodiscard]] std::uint64_t flows_completed() const noexcept override {
+    return background_.flows_completed() + incast_.flows_completed();
+  }
+  // The incast half is open-loop (nothing outstanding to bound); the
+  // closed-loop window is the interesting high-water mark.
+  [[nodiscard]] std::uint64_t peak_outstanding() const noexcept override {
+    return background_.peak_outstanding();
+  }
+  [[nodiscard]] std::uint64_t epochs_fired() const noexcept {
+    return incast_.epochs_fired();
+  }
+  [[nodiscard]] std::uint64_t background_packets() const noexcept {
+    return background_.packets_emitted();
+  }
+  [[nodiscard]] std::uint64_t incast_packets() const noexcept {
+    return incast_.packets_emitted();
+  }
+
+ private:
+  closed_loop_source background_;
+  incast_source incast_;
 };
 
 // A constructed source plus the calibration facts experiments report.

@@ -308,6 +308,60 @@ TEST(incast_test, source_emits_every_epoch_toward_its_victim) {
   }
 }
 
+// --- mixed -------------------------------------------------------------------
+
+TEST(mixed_source_test, runs_both_halves_with_disjoint_ids) {
+  fixture f(topo::dumbbell(8, 10 * sim::kGbps, sim::kGbps));
+  net::trace_recorder rec(f.net);
+  const auto dist = default_heavy_tailed();
+  workload_config cfg;
+  cfg.utilization = 0.6;
+  cfg.packet_budget = 4'000;
+  source_tuning tune;
+  tune.incast_degree = 4;
+  tune.outstanding = 8;
+  tune.incast_share = 0.3;
+  auto made = make_source(f.net, f.topo, *dist, cfg, source_kind::mixed, tune);
+  f.sim.run();
+
+  auto* mixed = dynamic_cast<mixed_source*>(made.src.get());
+  ASSERT_NE(mixed, nullptr);
+  EXPECT_GT(mixed->background_packets(), 0u) << "closed loop must run";
+  EXPECT_GT(mixed->incast_packets(), 0u) << "incast epochs must fire";
+  EXPECT_GT(mixed->epochs_fired(), 0u);
+  EXPECT_LE(mixed->peak_outstanding(), tune.outstanding);
+  EXPECT_EQ(made.src->packets_emitted(),
+            mixed->background_packets() + mixed->incast_packets());
+  EXPECT_GE(made.planned_packets, cfg.packet_budget);
+
+  // Replay sorts outcomes by packet id and the closed loop matches
+  // completions by flow id: both namespaces must be collision-free across
+  // the two member sources.
+  const auto tr = rec.take();
+  EXPECT_EQ(tr.packets.size(), made.src->packets_emitted());
+  std::set<std::uint64_t> ids;
+  for (const auto& r : tr.packets) {
+    EXPECT_TRUE(ids.insert(r.id).second) << "duplicate packet id " << r.id;
+  }
+}
+
+TEST(mixed_source_test, zero_share_degenerates_to_closed_loop) {
+  fixture f(topo::dumbbell(4, 10 * sim::kGbps, sim::kGbps));
+  const auto dist = default_heavy_tailed();
+  workload_config cfg;
+  cfg.utilization = 0.5;
+  cfg.packet_budget = 1'000;
+  source_tuning tune;
+  tune.incast_share = 0.0;
+  auto made = make_source(f.net, f.topo, *dist, cfg, source_kind::mixed, tune);
+  f.sim.run();
+  auto* mixed = dynamic_cast<mixed_source*>(made.src.get());
+  ASSERT_NE(mixed, nullptr);
+  EXPECT_EQ(mixed->incast_packets(), 0u);
+  EXPECT_EQ(mixed->epochs_fired(), 0u);
+  EXPECT_GT(mixed->background_packets(), 0u);
+}
+
 // --- parse_workload ----------------------------------------------------------
 
 TEST(parse_workload_test, names_knobs_and_errors) {
@@ -325,6 +379,13 @@ TEST(parse_workload_test, names_knobs_and_errors) {
   EXPECT_EQ(t.outstanding, 4u);
   EXPECT_EQ(parse_workload("incast:32", t), source_kind::incast);
   EXPECT_EQ(t.incast_degree, 32u);
+  EXPECT_EQ(parse_workload("mixed", t), source_kind::mixed);
+  EXPECT_EQ(parse_workload("mixed:16:4:0.3", t), source_kind::mixed);
+  EXPECT_EQ(t.incast_degree, 16u);
+  EXPECT_EQ(t.outstanding, 4u);
+  EXPECT_DOUBLE_EQ(t.incast_share, 0.3);
+  EXPECT_THROW((void)parse_workload("mixed:1:2:0.5:9", t),
+               std::invalid_argument);
   EXPECT_THROW((void)parse_workload("warp-drive", t), std::invalid_argument);
   // Malformed knobs must fail loudly, not fold to zero or truncate.
   EXPECT_THROW((void)parse_workload("paced:o.5", t), std::invalid_argument);

@@ -1,25 +1,33 @@
 // tracec — schedule-trace toolbox for the ups-trace formats.
 //
 //   tracec gen <out> [--topo=K] [--util=F] [--sched=NAME] [--seed=N]
-//                    [--packets=N] [--format=v1|v2] [--hops] [--workload=W]
+//                    [--packets=N] [--format=v1|v2|v3] [--hops]
+//                    [--workload=W]
 //       record a scenario's original schedule, ingress-sort it, save it.
 //       --workload selects the traffic source: open-loop (default),
 //       paced[:frac], closed-loop[:outstanding], closed-loop-tcp[:n],
-//       incast[:degree]
-//   tracec convert <in> <out>
-//       v1 text <-> v2 binary; direction is sniffed from <in>. v1 -> v2
-//       streams record by record (O(1) record memory + the 16-byte/record
-//       ingress index), so converting never materializes the trace.
+//       incast[:degree], mixed[:degree[:outstanding[:share]]]
+//   tracec convert <in> <out> [--format=v1|v2|v3]
+//       any direction between the three formats; the source is sniffed
+//       from <in>, the target defaults to v1 for a binary source and v2
+//       for a text source. Every direction streams record by record
+//       through the source's ingress cursor (O(1 block) memory), so
+//       converting never materializes the trace. A v1 source must be
+//       ingress-sorted to convert to v3 (tracec gen writes sorted files).
 //   tracec inspect <file> [--records=N]
-//       header summary, ingress span, integrity walk, first N records
+//       header summary, ingress span, integrity walk, first N records;
+//       v3 adds per-block occupancy, per-column bytes/packet, and the
+//       exact v2-equivalent size for the compression ratio
 //   tracec replay <file> --topo=K [--mode=M] [--util=F] [--seed=N]
 //                 [--upfront]
-//       replay straight from disk (mmap for v2, streaming parse for v1)
-//       over the named topology and report overdue fractions + packets/sec
+//       replay straight from disk (block decode for v3, mmap for v2,
+//       streaming parse for v1) over the named topology and report
+//       overdue fractions + packets/sec
 //
-// The v1 text format stays the diffable interchange representation; v2 is
-// the replay representation (see src/net/trace_binary.h for the layout).
+// The v1 text format stays the diffable interchange representation; v2/v3
+// are the replay representations (see src/net/trace_binary.h).
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -45,16 +53,17 @@ using namespace ups;
       stderr,
       "usage:\n"
       "  tracec gen <out> [--topo=K] [--util=F] [--sched=NAME] [--seed=N]\n"
-      "                   [--packets=N] [--format=v1|v2] [--hops]\n"
+      "                   [--packets=N] [--format=v1|v2|v3] [--hops]\n"
       "                   [--workload=W]\n"
-      "  tracec convert <in> <out>\n"
+      "  tracec convert <in> <out> [--format=v1|v2|v3]\n"
       "  tracec inspect <file> [--records=N]\n"
       "  tracec replay <file> --topo=K [--mode=M] [--util=F] [--seed=N]\n"
       "                [--upfront]\n"
       "topologies: i2 i2-1g i2-10g rocketfuel fattree\n"
       "modes: lstf lstf-preempt lstf-pheap edf priority omniscient\n"
       "workloads: open-loop paced[:frac] closed-loop[:outstanding]\n"
-      "           closed-loop-tcp[:outstanding] incast[:degree]\n");
+      "           closed-loop-tcp[:outstanding] incast[:degree]\n"
+      "           mixed[:degree[:outstanding[:share]]]\n");
   std::exit(2);
 }
 
@@ -121,7 +130,9 @@ int cmd_gen(const std::string& out, const flags& f) {
   // layouts record-for-record comparable.
   net::sort_by_ingress(orig.trace);
   const std::string format = f.get("format", "v1");
-  if (format == "v2") {
+  if (format == "v3") {
+    net::save_trace_v3(out, orig.trace);
+  } else if (format == "v2") {
     net::save_trace_v2(out, orig.trace);
   } else if (format == "v1") {
     net::save_trace(out, orig.trace);
@@ -140,34 +151,160 @@ int cmd_gen(const std::string& out, const flags& f) {
   return 0;
 }
 
-int cmd_convert(const std::string& in, const std::string& out) {
+int cmd_convert(const std::string& in, const std::string& out,
+                const flags& f) {
   const auto t0 = std::chrono::steady_clock::now();
+  // Sniff the source; the target defaults to the other side of the legacy
+  // pairs (binary -> v1 text, text -> v2) and --format overrides it. Every
+  // direction streams through the source's ingress cursor, so the output
+  // record order is the ingress order whatever the source's file order
+  // was, and memory stays O(1 block).
+  const bool binary_in =
+      net::is_trace_v3_file(in) || net::is_trace_v2_file(in);
+  const std::string target = f.get("format", binary_in ? "v1" : "v2");
+  const auto cur = net::open_trace_cursor(in);
+  const std::uint64_t declared = cur->size_hint();
+  std::ofstream os(out, std::ios::binary);
+  if (!os) throw std::runtime_error("tracec: cannot open " + out);
   std::uint64_t n = 0;
-  if (net::is_trace_v2_file(in)) {
-    // Binary -> text: decode in file order so the text file keeps the
-    // byte-for-byte record order the binary was written with.
-    const net::trace t = net::load_trace_v2(in);
-    net::save_trace(out, t);
-    n = t.packets.size();
-  } else {
-    // Text -> binary, streaming: one record resident at a time.
-    net::trace_stream_reader reader(in);
-    std::ofstream os(out, std::ios::binary);
-    if (!os) throw std::runtime_error("tracec: cannot open " + out);
+  if (target == "v1") {
+    net::write_trace_header(os, declared);
+    while (const net::packet_record* r = cur->next()) {
+      net::write_trace_record(os, *r);
+      ++n;
+    }
+  } else if (target == "v2") {
     net::trace_binary_writer writer(os);
-    while (const net::packet_record* r = reader.next()) writer.append(*r);
+    while (const net::packet_record* r = cur->next()) writer.append(*r);
     writer.finish();
     n = writer.written();
+  } else if (target == "v3") {
+    net::trace_v3_writer writer(os, declared);
+    while (const net::packet_record* r = cur->next()) writer.append(*r);
+    writer.finish();
+    n = writer.written();
+  } else {
+    std::fprintf(stderr, "tracec: unknown format '%s'\n", target.c_str());
+    return 2;
   }
-  std::printf("converted %llu records in %.3fs -> %s\n",
-              static_cast<unsigned long long>(n), wall_since(t0),
-              out.c_str());
+  std::printf("converted %llu records to %s in %.3fs -> %s\n",
+              static_cast<unsigned long long>(n), target.c_str(),
+              wall_since(t0), out.c_str());
+  return 0;
+}
+
+void print_record(const net::packet_record& r) {
+  std::printf("  id=%llu flow=%llu size=%u i=%lld o=%lld hops=%zu\n",
+              static_cast<unsigned long long>(r.id),
+              static_cast<unsigned long long>(r.flow_id), r.size_bytes,
+              static_cast<long long>(r.ingress_time),
+              static_cast<long long>(r.egress_time), r.path.size());
+}
+
+// The exact bytes this record costs in each format's record section: v2 is
+// the length-prefixed fixed payload plus variable tails plus its 8-byte
+// footer index slot; v1 is the formatted text line. Accumulated during the
+// integrity walk, they give exact cross-format ratios without writing the
+// other files.
+[[nodiscard]] std::uint64_t v2_record_bytes(const net::packet_record& r) {
+  return 4 + net::kTraceV2FixedPayloadBytes + 4 * r.path.size() +
+         8 * r.hop_departs.size() + 8;
+}
+
+int cmd_inspect_v3(const std::string& path, std::size_t show) {
+  net::trace_v3_cursor cur(path);
+  const std::size_t n = cur.size_hint();
+  const std::uint64_t blocks = cur.block_count();
+  std::printf("%s: ups-trace v3, %zu records in %llu blocks "
+              "(%u records/block), %zu bytes (%.2f B/record)\n",
+              path.c_str(), n, static_cast<unsigned long long>(blocks),
+              cur.records_per_block(), cur.file_size(),
+              n == 0 ? 0.0
+                     : static_cast<double>(cur.file_size()) /
+                           static_cast<double>(n));
+  if (blocks > 0) {
+    const auto first = cur.bounds_at(0);
+    const auto last = cur.bounds_at(blocks - 1);
+    std::printf("ingress span: %lld .. %lld ps (%.3f ms)\n",
+                static_cast<long long>(first.min_ingress),
+                static_cast<long long>(last.max_ingress),
+                sim::to_millis(last.max_ingress - first.min_ingress));
+    // Occupancy histogram: with a fixed records_per_block every block but
+    // the last is full, so anything else flags a writer bug.
+    std::uint64_t full = 0;
+    std::uint64_t hist[10] = {};
+    for (std::uint64_t b = 0; b < blocks; ++b) {
+      const std::uint32_t occ = cur.records_in_block(b);
+      if (occ == cur.records_per_block()) {
+        ++full;
+      } else {
+        const std::size_t bucket = std::min<std::size_t>(
+            9, (10ull * occ) / cur.records_per_block());
+        ++hist[bucket];
+      }
+    }
+    std::printf("block occupancy: %llu/%llu full",
+                static_cast<unsigned long long>(full),
+                static_cast<unsigned long long>(blocks));
+    for (std::size_t d = 0; d < 10; ++d) {
+      if (hist[d] > 0) {
+        std::printf(", %llu in [%zu0%%,%zu0%%)",
+                    static_cast<unsigned long long>(hist[d]), d, d + 1);
+      }
+    }
+    std::printf("\n");
+    // Per-column payload bytes, read off the block headers.
+    std::uint64_t col[net::kTraceV3ColumnCount] = {};
+    std::uint64_t payload = 0;
+    for (std::uint64_t b = 0; b < blocks; ++b) {
+      const auto cb = cur.column_bytes_at(b);
+      for (std::size_t c = 0; c < net::kTraceV3ColumnCount; ++c) {
+        col[c] += cb[c];
+        payload += cb[c];
+      }
+    }
+    std::printf("columns (%llu payload bytes, %.2f B/record):\n",
+                static_cast<unsigned long long>(payload),
+                static_cast<double>(payload) / static_cast<double>(n));
+    for (std::size_t c = 0; c < net::kTraceV3ColumnCount; ++c) {
+      std::printf("  %-8s %10llu B  %6.2f B/record\n",
+                  net::kTraceV3ColumnNames[c],
+                  static_cast<unsigned long long>(col[c]),
+                  static_cast<double>(col[c]) / static_cast<double>(n));
+    }
+    std::printf("overhead: %zu B header+index, %llu B block headers\n",
+                static_cast<std::size_t>(cur.bounds_at(0).offset),
+                static_cast<unsigned long long>(80ull * blocks));
+  }
+  // Integrity walk: decode every block through the same per-column loops
+  // replay uses, accumulating what the identical trace costs in v2.
+  std::uint64_t v2_bytes = net::kTraceV2HeaderBytes;
+  std::size_t shown = 0;
+  while (const net::packet_record* r = cur.next()) {
+    v2_bytes += v2_record_bytes(*r);
+    if (shown++ >= show) continue;
+    print_record(*r);
+  }
+  if (n > 0) {
+    std::printf("v2 equivalent: %llu bytes (%.2f B/record) -> v3/v2 ratio "
+                "%.3f\n",
+                static_cast<unsigned long long>(v2_bytes),
+                static_cast<double>(v2_bytes) / static_cast<double>(n),
+                static_cast<double>(cur.file_size()) /
+                    static_cast<double>(v2_bytes));
+  }
+  std::printf("integrity: all %zu records decode cleanly, blocks in "
+              "ingress order\n",
+              cur.read());
   return 0;
 }
 
 int cmd_inspect(const std::string& path, const flags& f) {
   const std::size_t show =
       std::strtoull(f.get("records", "5").c_str(), nullptr, 10);
+  if (net::is_trace_v3_file(path)) {
+    return cmd_inspect_v3(path, show);
+  }
   if (net::is_trace_v2_file(path)) {
     net::trace_mmap_cursor cur(path);
     std::printf("%s: ups-trace v2b, %zu records, %zu bytes (%.1f B/record)\n",
@@ -261,7 +398,9 @@ int main(int argc, char** argv) {
     if (cmd == "replay") return cmd_replay(argv[2], f);
     if (cmd == "convert") {
       if (argc < 4) usage();
-      return cmd_convert(argv[2], argv[3]);
+      flags cf;
+      for (int i = 4; i < argc; ++i) cf.all.emplace_back(argv[i]);
+      return cmd_convert(argv[2], argv[3], cf);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "tracec: %s\n", e.what());
