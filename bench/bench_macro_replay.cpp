@@ -1,11 +1,20 @@
 // Macro replay throughput: the second perf trajectory next to
 // bench_micro_queues' per-hop numbers. Drives a full Table-1-style
 // experiment end to end — record original schedules across scenarios/seeds,
-// replay each with a 4-mode candidate-UPS sweep — twice: once serially
-// (threads=1) and once sharded across a thread pool, and emits
-// BENCH_macro_replay.json with end-to-end packets/sec, the sharded speedup,
-// per-mode overdue fractions, and a peak-residency proxy comparing
-// streaming vs up-front injection on the largest scenario.
+// replay each with a 4-mode candidate-UPS sweep — twice: once on the
+// dispatch fabric's serial backend (the reference) and once sharded
+// (--dispatch, default thread:N), and emits BENCH_macro_replay.json with
+// end-to-end packets/sec, the sharded speedup, per-mode overdue fractions,
+// and a peak-residency proxy comparing streaming vs up-front injection on
+// the largest scenario.
+//
+// A dispatch lane runs the same memory plan on the multi-process backend
+// at worker counts {1, 2, 4} — each point gated byte-identical to the
+// serial reference — and records the process-count speedup curve. With
+// --kill-worker-after=K an extra process:2 pass injects a deterministic
+// worker SIGKILL mid-range and gates that the recovered (reassigned or
+// respawned) run still merges byte-identical, with the failure classified
+// in the report.
 //
 // A disk-replay lane measures the binary trace formats against v1 text:
 // the largest scenario's trace is written in all three formats (v1 text,
@@ -53,6 +62,13 @@
 //   identity      sharded results must be byte-identical to the serial run
 //                 (counters, thresholds, and per-packet outcomes for every
 //                 scenario × mode cell) — always on
+//   process       every process-backend run — worker counts {1,2,4}, plus
+//                 the --kill-worker-after fault pass and the disk-lane
+//                 process:2 replay — must be byte-identical to serial, and
+//                 the fault pass must actually record a classified worker
+//                 failure — always on (unix); the process-count *speedup*
+//                 bar (--min-process-speedup, default 1.2) is enforced only
+//                 on machines with >= 2 hardware threads
 //   steady-state  on the WAN 70% scenario: closed-loop peak residency at 2x
 //                 budget must stay within --max-workload-plateau (default
 //                 1.1x) of its 1x-budget peak (the plateau) AND below
@@ -102,6 +118,8 @@
 //
 // Usage: bench_macro_replay [--packets=N] [--seed=N] [--scale=F] [--quick]
 //                           [--threads=N] [--out=FILE] [--min-speedup=X]
+//                           [--dispatch=serial|thread[:N]|process[:N]]
+//                           [--kill-worker-after=K] [--min-process-speedup=X]
 //                           [--max-residency=F] [--min-disk-speedup=X]
 //                           [--max-workload-residency=F]
 //                           [--max-workload-plateau=F]
@@ -129,7 +147,8 @@
 #include <vector>
 
 #include "exp/args.h"
-#include "exp/replay_shard_runner.h"
+#include "exp/dispatch/backend.h"
+#include "exp/replay_experiment.h"
 #include "net/trace_binary.h"
 #include "net/trace_io.h"
 
@@ -319,6 +338,7 @@ int main(int argc, char** argv) {
   std::size_t threads = 4;
   std::string out_path = "BENCH_macro_replay.json";
   double min_speedup = 2.0;
+  double min_process_speedup = 1.2;
   double max_residency = 0.5;
   double min_disk_speedup = 3.0;
   double max_workload_residency = 0.5;
@@ -335,6 +355,8 @@ int main(int argc, char** argv) {
       out_path = argv[i] + 6;
     } else if (std::strncmp(argv[i], "--min-speedup=", 14) == 0) {
       min_speedup = std::strtod(argv[i] + 14, nullptr);
+    } else if (std::strncmp(argv[i], "--min-process-speedup=", 22) == 0) {
+      min_process_speedup = std::strtod(argv[i] + 22, nullptr);
     } else if (std::strncmp(argv[i], "--max-residency=", 16) == 0) {
       max_residency = std::strtod(argv[i] + 16, nullptr);
     } else if (std::strncmp(argv[i], "--min-disk-speedup=", 19) == 0) {
@@ -414,20 +436,34 @@ int main(int argc, char** argv) {
 
   // keep_outcomes so the identity gate can compare per-packet results, not
   // just counters (outcome memory is ~40B per replayed packet, well within
-  // bench budgets).
-  exp::shard_options serial_opt;
-  serial_opt.threads = 1;
-  serial_opt.keep_outcomes = true;
+  // bench budgets). Both passes go through the unified dispatch API: serial
+  // is the reference backend, the sharded pass takes --dispatch (default
+  // thread:threads).
+  exp::shard_options mem_opt;
+  mem_opt.keep_outcomes = true;
+  const auto mem_plan = exp::dispatch::job_plan::from_tasks(tasks, mem_opt);
+  const auto run_plan = [&](const exp::dispatch::backend_spec& spec) {
+    auto rep = exp::dispatch::run(mem_plan, spec);
+    rep.throw_if_failed();
+    return rep;
+  };
+  exp::dispatch::backend_spec serial_spec;
+  serial_spec.kind = exp::dispatch::backend_kind::serial;
   const auto t_serial = std::chrono::steady_clock::now();
-  const auto serial = exp::run_sharded(tasks, serial_opt);
+  const auto serial_rep = run_plan(serial_spec);
   const double serial_wall = exp::wall_seconds_since(t_serial);
+  const auto& serial = serial_rep.results;
 
-  exp::shard_options sharded_opt;
-  sharded_opt.threads = threads;
-  sharded_opt.keep_outcomes = true;
+  exp::dispatch::backend_spec sharded_spec;
+  sharded_spec.kind = exp::dispatch::backend_kind::thread;
+  sharded_spec.workers = threads;
+  if (!a.dispatch.empty()) {
+    sharded_spec = exp::dispatch::backend_spec::parse(a.dispatch);
+  }
   const auto t_sharded = std::chrono::steady_clock::now();
-  const auto sharded = exp::run_sharded(tasks, sharded_opt);
+  const auto sharded_rep = run_plan(sharded_spec);
   const double sharded_wall = exp::wall_seconds_since(t_sharded);
+  const auto& sharded = sharded_rep.results;
 
   // Work unit for the throughput trajectory: one replayed packet (each
   // recorded packet is replayed once per mode).
@@ -438,6 +474,62 @@ int main(int argc, char** argv) {
   const double serial_pps = static_cast<double>(replayed) / serial_wall;
   const double sharded_pps = static_cast<double>(replayed) / sharded_wall;
   const double speedup = sharded_pps / serial_pps;
+
+  // --- dispatch lane: the multi-process fabric on the same memory plan ------
+  // Worker counts {1, 2, 4}, every point gated byte-identical to the serial
+  // reference above; the walls give the process-count speedup curve. The
+  // fork cost and result-codec round-trip are part of what is measured.
+#if defined(__unix__) || defined(__APPLE__)
+  const bool process_available = true;
+#else
+  const bool process_available = false;
+#endif
+  struct process_point {
+    std::size_t workers = 0;
+    double wall_seconds = 0;
+    double speedup_vs_serial = 0;
+    bool identical = true;
+  };
+  std::vector<process_point> process_curve;
+  bool process_same = true;
+  if (process_available) {
+    for (const std::size_t nproc : {1u, 2u, 4u}) {
+      exp::dispatch::backend_spec pspec;
+      pspec.kind = exp::dispatch::backend_kind::process;
+      pspec.workers = nproc;
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto prep = run_plan(pspec);
+      process_point pt;
+      pt.workers = nproc;
+      pt.wall_seconds = exp::wall_seconds_since(t0);
+      pt.speedup_vs_serial = serial_wall / pt.wall_seconds;
+      pt.identical = identical(serial, prep.results);
+      process_same = process_same && pt.identical;
+      process_curve.push_back(pt);
+    }
+  }
+  // Fault-injection pass (--kill-worker-after=K): process:2 with the first
+  // worker SIGKILLed after computing its K-th job but before reporting it.
+  // The merged output must still be byte-identical, and the report must
+  // show the classified failure — otherwise the injection never fired and
+  // the recovery path went untested.
+  bool fault_same = true;
+  bool fault_fired = true;
+  std::size_t fault_failures = 0;
+  bool fault_respawned = false;
+  if (process_available && a.kill_worker_after > 0) {
+    exp::dispatch::backend_spec fspec;
+    fspec.kind = exp::dispatch::backend_kind::process;
+    fspec.workers = 2;
+    fspec.kill_worker_after = a.kill_worker_after;
+    const auto frep = run_plan(fspec);
+    fault_same = identical(serial, frep.results);
+    fault_fired = !frep.worker_failures.empty();
+    fault_failures = frep.worker_failures.size();
+    for (const auto& wf : frep.worker_failures) {
+      fault_respawned = fault_respawned || wf.respawned;
+    }
+  }
 
   // Residency proxy: replay the bench's largest trace once with up-front
   // injection and once streaming, and compare pool/event high-water marks.
@@ -631,46 +723,58 @@ int main(int argc, char** argv) {
                             v3_seek.records == v3_ingest.records;
 
   // End-to-end disk replay across every mode: text serial, then each
-  // binary format serial and sharded (each worker maps the same file
-  // read-only; the kernel shares one physical copy). All five runs must
-  // be byte-identical.
+  // binary format serial and thread-sharded, plus a process:2 pass over
+  // the v3 file (each worker — thread or forked process — maps the same
+  // file read-only; the kernel shares one physical copy). All six runs
+  // must be byte-identical.
   exp::disk_shard_task disk_task;
   disk_task.topology = orig_big.topology;
   disk_task.threshold_T = orig_big.threshold_T;
   disk_task.modes = modes;
-  exp::shard_options disk_serial_opt;
-  disk_serial_opt.threads = 1;
-  disk_serial_opt.keep_outcomes = true;
-  exp::shard_options disk_sharded_opt;
-  disk_sharded_opt.threads = threads;
-  disk_sharded_opt.keep_outcomes = true;
+  exp::shard_options disk_opt;
+  disk_opt.keep_outcomes = true;
+  const auto run_disk = [&](const std::string& path,
+                            const exp::dispatch::backend_spec& spec) {
+    disk_task.trace_path = path;
+    auto rep = exp::dispatch::run(
+        exp::dispatch::job_plan::from_disk(disk_task, disk_opt), spec);
+    rep.throw_if_failed();
+    return std::move(rep.disk_replays);
+  };
+  exp::dispatch::backend_spec disk_serial_spec;
+  disk_serial_spec.kind = exp::dispatch::backend_kind::serial;
+  exp::dispatch::backend_spec disk_sharded_spec;
+  disk_sharded_spec.kind = exp::dispatch::backend_kind::thread;
+  disk_sharded_spec.workers = threads;
+  exp::dispatch::backend_spec disk_process_spec;
+  disk_process_spec.kind = exp::dispatch::backend_kind::process;
+  disk_process_spec.workers = 2;
 
-  disk_task.trace_path = v1_path;
   const auto t_text = std::chrono::steady_clock::now();
-  const auto disk_text = exp::run_sharded_disk(disk_task, disk_serial_opt);
+  const auto disk_text = run_disk(v1_path, disk_serial_spec);
   const double text_replay_wall = exp::wall_seconds_since(t_text);
-  disk_task.trace_path = v2_path;
   const auto t_bin = std::chrono::steady_clock::now();
-  const auto disk_bin = exp::run_sharded_disk(disk_task, disk_serial_opt);
+  const auto disk_bin = run_disk(v2_path, disk_serial_spec);
   const double bin_replay_wall = exp::wall_seconds_since(t_bin);
-  const auto disk_bin_sharded =
-      exp::run_sharded_disk(disk_task, disk_sharded_opt);
-  disk_task.trace_path = v3_path;
+  const auto disk_bin_sharded = run_disk(v2_path, disk_sharded_spec);
   const auto t_v3 = std::chrono::steady_clock::now();
-  const auto disk_v3 = exp::run_sharded_disk(disk_task, disk_serial_opt);
+  const auto disk_v3 = run_disk(v3_path, disk_serial_spec);
   const double v3_replay_wall = exp::wall_seconds_since(t_v3);
-  const auto disk_v3_sharded =
-      exp::run_sharded_disk(disk_task, disk_sharded_opt);
+  const auto disk_v3_sharded = run_disk(v3_path, disk_sharded_spec);
+  const auto disk_v3_process =
+      process_available ? run_disk(v3_path, disk_process_spec) : disk_v3;
 
   bool disk_same = disk_text.size() == disk_bin.size() &&
                    disk_text.size() == disk_bin_sharded.size() &&
                    disk_text.size() == disk_v3.size() &&
-                   disk_text.size() == disk_v3_sharded.size();
+                   disk_text.size() == disk_v3_sharded.size() &&
+                   disk_text.size() == disk_v3_process.size();
   for (std::size_t m = 0; disk_same && m < disk_text.size(); ++m) {
     disk_same = same_result(disk_text[m].result, disk_bin[m].result) &&
                 same_result(disk_text[m].result, disk_bin_sharded[m].result) &&
                 same_result(disk_text[m].result, disk_v3[m].result) &&
-                same_result(disk_text[m].result, disk_v3_sharded[m].result);
+                same_result(disk_text[m].result, disk_v3_sharded[m].result) &&
+                same_result(disk_text[m].result, disk_v3_process[m].result);
   }
   const std::uint64_t disk_replayed =
       orig_big.trace.packets.size() * modes.size();
@@ -928,8 +1032,29 @@ int main(int argc, char** argv) {
   }
   std::printf("\nserial : %7.2fs  %12.0f packets/sec\n", serial_wall,
               serial_pps);
-  std::printf("sharded: %7.2fs  %12.0f packets/sec  (%.2fx, %zu threads)\n",
-              sharded_wall, sharded_pps, speedup, threads);
+  std::printf("sharded: %7.2fs  %12.0f packets/sec  (%.2fx, %s:%zu)\n",
+              sharded_wall, sharded_pps, speedup,
+              exp::dispatch::to_string(sharded_spec.kind),
+              sharded_spec.workers);
+  if (process_available) {
+    for (const auto& pt : process_curve) {
+      std::printf("process:%zu  %7.2fs  %12.0f packets/sec  (%.2fx vs "
+                  "serial, identical: %s)\n",
+                  pt.workers, pt.wall_seconds,
+                  static_cast<double>(replayed) / pt.wall_seconds,
+                  pt.speedup_vs_serial, pt.identical ? "yes" : "NO");
+    }
+    if (a.kill_worker_after > 0) {
+      std::printf("process:2 +kill-worker-after=%llu: %zu worker "
+                  "failure(s)%s, identical: %s\n",
+                  static_cast<unsigned long long>(a.kill_worker_after),
+                  fault_failures, fault_respawned ? " (respawned)" : "",
+                  fault_same ? "yes" : "NO");
+    }
+  } else {
+    std::printf("process backend unavailable on this platform; dispatch "
+                "lane skipped\n");
+  }
   const double committed_pps =
       baseline_path.empty() ? 0.0 : baseline_serial_pps(baseline_path);
   if (committed_pps > 0.0) {
@@ -1052,6 +1177,22 @@ int main(int argc, char** argv) {
         << ", \"packets_per_sec\": " << sharded_pps << "},\n"
         << "  \"speedup\": " << speedup << ",\n"
         << "  \"identical\": " << (same ? "true" : "false") << ",\n"
+        << "  \"process\": {\"available\": "
+        << (process_available ? "true" : "false") << ", \"curve\": [";
+    for (std::size_t i = 0; i < process_curve.size(); ++i) {
+      const auto& pt = process_curve[i];
+      out << (i ? ", " : "") << "{\"workers\": " << pt.workers
+          << ", \"wall_seconds\": " << pt.wall_seconds
+          << ", \"packets_per_sec\": "
+          << static_cast<double>(replayed) / pt.wall_seconds
+          << ", \"speedup_vs_serial\": " << pt.speedup_vs_serial
+          << ", \"identical\": " << (pt.identical ? "true" : "false") << "}";
+    }
+    out << "],\n    \"kill_worker_after\": " << a.kill_worker_after
+        << ", \"fault_worker_failures\": " << fault_failures
+        << ", \"fault_respawned\": " << (fault_respawned ? "true" : "false")
+        << ", \"fault_identical\": " << (fault_same ? "true" : "false")
+        << "},\n"
         << "  \"residency\": {\"trace_packets\": "
         << orig_big.trace.packets.size()
         << ", \"upfront_peak_packets\": " << res_upfront.peak_pool_packets
@@ -1186,6 +1327,39 @@ int main(int argc, char** argv) {
                  "FAIL: sharded results differ from the serial run "
                  "(determinism violation)\n");
     ++failures;
+  }
+  if (!process_same) {
+    std::fprintf(stderr,
+                 "FAIL: a process-backend run differs from the serial "
+                 "reference (dispatch fabric determinism violation)\n");
+    ++failures;
+  }
+  if (!fault_same) {
+    std::fprintf(stderr,
+                 "FAIL: the fault-injected process run merged differently "
+                 "from serial — worker recovery corrupted a result slot\n");
+    ++failures;
+  }
+  if (!fault_fired) {
+    std::fprintf(stderr,
+                 "FAIL: --kill-worker-after injection recorded no worker "
+                 "failure — the recovery path went untested\n");
+    ++failures;
+  }
+  // The process-count speedup bar, like the thread one, needs real cores.
+  if (process_available && hw >= 2) {
+    double best = 0;
+    for (const auto& pt : process_curve) {
+      best = std::max(best, pt.speedup_vs_serial);
+    }
+    if (best < min_process_speedup) {
+      std::fprintf(stderr,
+                   "FAIL: best process-backend speedup %.2fx < %.2fx bar\n",
+                   best, min_process_speedup);
+      ++failures;
+    }
+  } else if (process_available) {
+    std::printf("process speedup gate SKIPPED: %u hardware thread(s)\n", hw);
   }
   if (res_stream.peak_pool_packets >
       static_cast<std::uint64_t>(

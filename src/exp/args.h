@@ -8,6 +8,13 @@
 //   --workload=NAME   traffic source kind: open-loop, paced[:frac],
 //                     closed-loop[:outstanding], closed-loop-tcp[:outstanding],
 //                     incast[:degree] (see traffic::parse_workload)
+//   --dispatch=SPEC   replay fabric backend: serial | thread[:N] |
+//                     process[:N] (see dispatch::backend_spec::parse);
+//                     empty means the binary's default
+//   --kill-worker-after=K
+//                     fault injection for the process backend: the first
+//                     worker SIGKILLs itself after computing its K-th job
+//                     but before reporting it (0 = off)
 #pragma once
 
 #include <cstdint>
@@ -24,6 +31,8 @@ struct args {
   bool quick = false;
   double utilization = 0.0;  // <= 0: use the experiment default
   std::string workload;      // empty: use the experiment default
+  std::string dispatch;      // empty: use the binary's default backend
+  std::uint64_t kill_worker_after = 0;  // 0: fault injection off
 
   [[nodiscard]] static args parse(int argc, char** argv) {
     args a;
@@ -39,6 +48,10 @@ struct args {
         a.utilization = std::strtod(s.c_str() + 14, nullptr);
       } else if (s.rfind("--workload=", 0) == 0) {
         a.workload = s.substr(11);
+      } else if (s.rfind("--dispatch=", 0) == 0) {
+        a.dispatch = s.substr(11);
+      } else if (s.rfind("--kill-worker-after=", 0) == 0) {
+        a.kill_worker_after = std::strtoull(s.c_str() + 20, nullptr, 10);
       } else if (s == "--quick") {
         a.quick = true;
       }

@@ -1,0 +1,517 @@
+#include "exp/dispatch/process_coordinator.h"
+
+#include <stdexcept>
+
+#include "core/replay_codec.h"
+#include "exp/dispatch/wire.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <thread>
+
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
+
+namespace ups::exp::dispatch {
+namespace {
+
+// A job that killed this many workers in a row is poisoned: mark it failed
+// instead of burning the whole respawn budget on it.
+constexpr int kMaxJobAttempts = 3;
+
+[[nodiscard]] constexpr std::uint64_t zigzag(std::int64_t v) noexcept {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+[[nodiscard]] constexpr std::int64_t unzigzag(std::uint64_t v) noexcept {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+// --- result payloads (after the leading `varint job`) ---------------------
+
+void encode_memory_result(const shard_result& r,
+                          std::vector<std::uint8_t>& out) {
+  // The scenario is NOT serialized: the coordinator owns the plan and
+  // restores slot.sc from it, so only measured data crosses the wire.
+  put_varint(out, r.trace_packets);
+  put_varint(out, zigzag(r.threshold_T));
+  put_f64(out, r.original_wall_seconds);
+  put_varint(out, r.original_peak_pool_packets);
+  put_varint(out, r.original_flows_completed);
+  put_varint(out, r.replays.size());
+  for (const shard_replay& rep : r.replays) {
+    out.push_back(static_cast<std::uint8_t>(rep.mode));
+    put_f64(out, rep.wall_seconds);
+    core::encode_replay_result(rep.result, out);
+  }
+}
+
+void decode_memory_result(const std::uint8_t*& p, const std::uint8_t* end,
+                          shard_result& slot) {
+  slot.trace_packets = get_varint(p, end);
+  slot.threshold_T = unzigzag(get_varint(p, end));
+  slot.original_wall_seconds = get_f64(p, end);
+  slot.original_peak_pool_packets = get_varint(p, end);
+  slot.original_flows_completed = get_varint(p, end);
+  const std::uint64_t n = get_varint(p, end);
+  if (n > static_cast<std::uint64_t>(end - p)) {
+    throw wire_error("memory result: replay count overruns frame");
+  }
+  slot.replays.assign(n, shard_replay{});
+  for (shard_replay& rep : slot.replays) {
+    if (p == end) throw wire_error("memory result: truncated replay mode");
+    rep.mode = static_cast<core::replay_mode>(*p++);
+    rep.wall_seconds = get_f64(p, end);
+    rep.result = core::decode_replay_result(p, end);
+  }
+}
+
+void encode_disk_result(const shard_replay& r,
+                        std::vector<std::uint8_t>& out) {
+  out.push_back(static_cast<std::uint8_t>(r.mode));
+  put_f64(out, r.wall_seconds);
+  core::encode_replay_result(r.result, out);
+}
+
+void decode_disk_result(const std::uint8_t*& p, const std::uint8_t* end,
+                        shard_replay& slot) {
+  if (p == end) throw wire_error("disk result: truncated mode byte");
+  slot.mode = static_cast<core::replay_mode>(*p++);
+  slot.wall_seconds = get_f64(p, end);
+  slot.result = core::decode_replay_result(p, end);
+}
+
+// --- worker process -------------------------------------------------------
+
+struct worker_config {
+  std::uint64_t kill_after = 0;  // SIGKILL before reporting the K-th job
+  std::uint64_t garble_at = 0;   // truncated garbage instead of K-th result
+};
+
+[[noreturn]] void worker_main(const job_plan& plan, int fd,
+                              const worker_config& cfg) {
+  std::uint64_t completed = 0;
+  frame f;
+  std::vector<std::uint8_t> payload;
+  for (;;) {
+    bool got = false;
+    try {
+      got = recv_frame(fd, f);
+    } catch (...) {
+      _exit(10);
+    }
+    if (!got) _exit(11);  // coordinator vanished
+    if (f.type == frame_type::shutdown) _exit(0);
+    if (f.type != frame_type::assign) _exit(12);
+    std::uint64_t first = 0;
+    std::uint64_t count = 0;
+    try {
+      const std::uint8_t* p = f.payload.data();
+      const std::uint8_t* end = p + f.payload.size();
+      first = get_varint(p, end);
+      count = get_varint(p, end);
+    } catch (...) {
+      _exit(13);
+    }
+    for (std::uint64_t j = first; j < first + count; ++j) {
+      ++completed;
+      if (cfg.garble_at != 0 && completed == cfg.garble_at) {
+        // A header promising 64 payload bytes followed by 8 and EOF — the
+        // truncated-result-frame failure the coordinator must classify as
+        // a typed protocol error, not hang on.
+        std::uint8_t garbage[kFrameHeaderBytes + 8] = {};
+        const std::uint32_t len = 64;
+        std::memcpy(garbage, &len, 4);
+        garbage[4] = static_cast<std::uint8_t>(frame_type::result);
+        (void)::send(fd, garbage, sizeof garbage, MSG_NOSIGNAL);
+        _exit(16);
+      }
+      payload.clear();
+      put_varint(payload, j);
+      try {
+        if (plan.disk) {
+          encode_disk_result(run_disk_job(plan, static_cast<std::size_t>(j)),
+                             payload);
+        } else {
+          encode_memory_result(
+              run_memory_job(plan, static_cast<std::size_t>(j)), payload);
+        }
+      } catch (const std::exception& e) {
+        payload.clear();
+        put_varint(payload, j);
+        const char* what = e.what();
+        payload.insert(payload.end(), what, what + std::strlen(what));
+        if (!send_frame(fd, frame_type::job_error, payload)) _exit(14);
+        continue;
+      }
+      if (cfg.kill_after != 0 && completed == cfg.kill_after) {
+        // Die with the finished job unreported: it is deterministically
+        // in flight, so the coordinator's reassign/rerun path always runs.
+        ::raise(SIGKILL);
+      }
+      if (!send_frame(fd, frame_type::result, payload)) _exit(15);
+    }
+  }
+}
+
+// --- coordinator ----------------------------------------------------------
+
+struct worker_state {
+  pid_t pid = -1;
+  int fd = -1;          // coordinator end of the socketpair
+  int spawn_index = -1;
+  frame_splitter rx;
+  std::deque<std::size_t> in_flight;  // assigned, not yet acknowledged
+  bool shutdown_sent = false;
+};
+
+class coordinator {
+ public:
+  coordinator(const job_plan& plan, const backend_spec& spec)
+      : plan_(plan), spec_(spec), jobs_(plan.job_count()) {}
+
+  run_report run() {
+    rep_.status.assign(jobs_, job_status::ok);
+    rep_.errors.assign(jobs_, std::string());
+    if (plan_.disk) {
+      rep_.disk_replays.resize(jobs_);
+    } else {
+      rep_.results.resize(jobs_);
+      for (std::size_t i = 0; i < jobs_; ++i) {
+        rep_.results[i].sc = plan_.tasks[i].sc;
+      }
+    }
+    if (jobs_ == 0) return std::move(rep_);
+
+    std::size_t n = spec_.workers != 0
+                        ? spec_.workers
+                        : std::thread::hardware_concurrency();
+    if (n == 0) n = 1;
+    if (n > jobs_) n = jobs_;
+    max_respawns_ = n + 2;
+    for (std::size_t i = 0; i < jobs_; ++i) pending_.push_back(i);
+    for (std::size_t w = 0; w < n; ++w) spawn_worker();
+
+    std::vector<std::uint8_t> buf(256 * 1024);
+    while (done_ < jobs_) {
+      if (workers_.empty()) {
+        if (respawns_ < max_respawns_) {
+          spawn_worker();
+          if (!rep_.worker_failures.empty()) {
+            rep_.worker_failures.back().respawned = true;
+          }
+        } else {
+          // Fabric exhausted: report what never ran instead of hanging.
+          for (const std::size_t j : pending_) mark_not_run(j);
+          pending_.clear();
+          break;
+        }
+      }
+      for (auto& w : workers_) assign_if_idle(w);
+
+      std::vector<pollfd> fds;
+      fds.reserve(workers_.size());
+      for (const auto& w : workers_) {
+        fds.push_back(pollfd{w.fd, POLLIN, 0});
+      }
+      const int rv = ::poll(fds.data(),
+                            static_cast<nfds_t>(fds.size()), 500);
+      if (rv < 0 && errno != EINTR) {
+        throw std::runtime_error(std::string("dispatch poll failed: ") +
+                                 std::strerror(errno));
+      }
+      // Service sockets by pid (worker indices shift as dead ones drop).
+      for (const auto& pfd : fds) {
+        if ((pfd.revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+        worker_state* w = find_by_fd(pfd.fd);
+        if (w == nullptr) continue;
+        service(*w, buf);
+      }
+    }
+    shutdown_all();
+    return std::move(rep_);
+  }
+
+ private:
+  void spawn_worker() {
+    int sv[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+      throw std::runtime_error(std::string("socketpair failed: ") +
+                               std::strerror(errno));
+    }
+#if defined(__APPLE__)
+    const int on = 1;
+    ::setsockopt(sv[0], SOL_SOCKET, SO_NOSIGPIPE, &on, sizeof on);
+    ::setsockopt(sv[1], SOL_SOCKET, SO_NOSIGPIPE, &on, sizeof on);
+#endif
+    const int index = spawn_counter_++;
+    if (index > 0) ++respawns_worth_counting_;  // informational only
+    std::fflush(stdout);
+    std::fflush(stderr);
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(sv[0]);
+      ::close(sv[1]);
+      throw std::runtime_error(std::string("fork failed: ") +
+                               std::strerror(errno));
+    }
+    if (pid == 0) {
+      // Child: drop every other worker's socket so a sibling's EOF stays
+      // visible to the coordinator the moment that sibling dies.
+      for (const auto& w : workers_) ::close(w.fd);
+      ::close(sv[0]);
+      worker_config cfg;
+      if (index == 0) {
+        cfg.kill_after = spec_.kill_worker_after;
+        cfg.garble_at = spec_.garble_result_at;
+      }
+      worker_main(plan_, sv[1], cfg);  // noreturn
+    }
+    ::close(sv[1]);
+    worker_state w;
+    w.pid = pid;
+    w.fd = sv[0];
+    w.spawn_index = index;
+    workers_.push_back(std::move(w));
+  }
+
+  worker_state* find_by_fd(int fd) {
+    for (auto& w : workers_) {
+      if (w.fd == fd) return &w;
+    }
+    return nullptr;
+  }
+
+  // Guided self-scheduling: early assigns take big contiguous ranges, the
+  // tail hands out single jobs so a slow range never straggles the run.
+  void assign_if_idle(worker_state& w) {
+    if (!w.in_flight.empty() || pending_.empty() || w.shutdown_sent) return;
+    const std::size_t chunk = std::max<std::size_t>(
+        1, pending_.size() / (2 * workers_.size()));
+    const std::size_t first = pending_.front();
+    pending_.pop_front();
+    std::size_t count = 1;
+    while (count < chunk && !pending_.empty() &&
+           pending_.front() == first + count) {
+      pending_.pop_front();
+      ++count;
+    }
+    for (std::size_t k = 0; k < count; ++k) w.in_flight.push_back(first + k);
+    std::vector<std::uint8_t> payload;
+    put_varint(payload, first);
+    put_varint(payload, count);
+    // A failed send means the worker is already dead; the jobs stay in its
+    // in_flight list and the imminent EOF event reassigns them.
+    (void)send_frame(w.fd, frame_type::assign, payload);
+  }
+
+  void service(worker_state& w, std::vector<std::uint8_t>& buf) {
+    for (;;) {
+      const ssize_t n = ::read(w.fd, buf.data(), buf.size());
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        fail_worker(w, worker_failure_kind::protocol_error,
+                    std::string("socket read failed: ") +
+                        std::strerror(errno));
+        return;
+      }
+      if (n == 0) {
+        handle_eof(w);
+        return;
+      }
+      w.rx.feed(buf.data(), static_cast<std::size_t>(n));
+      try {
+        frame f;
+        while (w.rx.pop(f)) handle_frame(w, f);
+      } catch (const std::exception& e) {
+        fail_worker(w, worker_failure_kind::protocol_error, e.what());
+        return;
+      }
+      if (static_cast<std::size_t>(n) < buf.size()) return;  // drained
+    }
+  }
+
+  void handle_frame(worker_state& w, const frame& f) {
+    const std::uint8_t* p = f.payload.data();
+    const std::uint8_t* end = p + f.payload.size();
+    if (f.type != frame_type::result && f.type != frame_type::job_error) {
+      throw wire_error("coordinator received a coordinator-only frame");
+    }
+    const std::uint64_t job = get_varint(p, end);
+    if (job >= jobs_) {
+      throw wire_error("result frame names job " + std::to_string(job) +
+                       " beyond the plan");
+    }
+    const auto it =
+        std::find(w.in_flight.begin(), w.in_flight.end(),
+                  static_cast<std::size_t>(job));
+    if (it == w.in_flight.end()) {
+      throw wire_error("result frame for job " + std::to_string(job) +
+                       " this worker does not hold");
+    }
+    if (f.type == frame_type::job_error) {
+      rep_.status[job] = job_status::failed;
+      rep_.errors[job].assign(reinterpret_cast<const char*>(p),
+                              static_cast<std::size_t>(end - p));
+      if (rep_.errors[job].empty()) rep_.errors[job] = "job failed";
+    } else if (plan_.disk) {
+      decode_disk_result(p, end, rep_.disk_replays[job]);
+    } else {
+      decode_memory_result(p, end, rep_.results[job]);
+      rep_.results[job].sc = plan_.tasks[job].sc;
+    }
+    w.in_flight.erase(it);
+    ++done_;
+  }
+
+  void handle_eof(worker_state& w) {
+    int status = 0;
+    while (::waitpid(w.pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    const bool clean = w.shutdown_sent && w.in_flight.empty() &&
+                       !w.rx.mid_frame() && WIFEXITED(status) &&
+                       WEXITSTATUS(status) == 0;
+    if (clean) {
+      remove_worker(w.pid);
+      return;
+    }
+    // Classification: the wait status names the death, a buffered partial
+    // frame upgrades a quiet exit to a truncated-message protocol error.
+    worker_failure_kind kind;
+    int detail = 0;
+    std::string msg;
+    if (WIFSIGNALED(status)) {
+      kind = worker_failure_kind::killed_by_signal;
+      detail = WTERMSIG(status);
+      msg = "worker killed by signal " + std::to_string(detail);
+    } else if (w.rx.mid_frame()) {
+      kind = worker_failure_kind::protocol_error;
+      detail = WIFEXITED(status) ? WEXITSTATUS(status) : 0;
+      msg = "worker closed its socket mid-frame (truncated result)";
+    } else if (WIFEXITED(status) && WEXITSTATUS(status) != 0) {
+      kind = worker_failure_kind::exit_code;
+      detail = WEXITSTATUS(status);
+      msg = "worker exited with status " + std::to_string(detail);
+    } else {
+      kind = worker_failure_kind::exited_early;
+      msg = "worker exited before shutdown";
+    }
+    record_failure(w, kind, detail, msg, /*already_reaped=*/true);
+  }
+
+  void fail_worker(worker_state& w, worker_failure_kind kind,
+                   const std::string& msg) {
+    ::kill(w.pid, SIGKILL);
+    int status = 0;
+    while (::waitpid(w.pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    record_failure(w, kind, /*detail=*/0, msg, /*already_reaped=*/true);
+  }
+
+  void record_failure(worker_state& w, worker_failure_kind kind, int detail,
+                      const std::string& msg, bool already_reaped) {
+    (void)already_reaped;
+    worker_failure ev;
+    ev.worker = w.spawn_index;
+    ev.kind = kind;
+    ev.detail = detail;
+    ev.message = msg;
+    // Reassign the dead worker's in-flight range: jobs are pure functions,
+    // so a rerun on any worker reproduces the exact bytes this one would
+    // have sent. A job on its last allowed attempt is poisoned instead.
+    for (const std::size_t j : w.in_flight) {
+      if (++attempts_[j] >= kMaxJobAttempts) {
+        rep_.status[j] = job_status::failed;
+        rep_.errors[j] =
+            "job killed " + std::to_string(attempts_[j]) +
+            " workers in a row (last: " + msg + ")";
+        ++done_;
+      } else {
+        ev.reassigned_jobs.push_back(j);
+        pending_.push_front(j);
+      }
+    }
+    rep_.worker_failures.push_back(std::move(ev));
+    remove_worker(w.pid);
+  }
+
+  void mark_not_run(std::size_t j) {
+    rep_.status[j] = job_status::not_run;
+    rep_.errors[j] = "dispatch fabric exhausted its respawn budget";
+    ++done_;
+  }
+
+  void remove_worker(pid_t pid) {
+    for (auto it = workers_.begin(); it != workers_.end(); ++it) {
+      if (it->pid != pid) continue;
+      ::close(it->fd);
+      workers_.erase(it);
+      return;
+    }
+  }
+
+  void shutdown_all() {
+    for (auto& w : workers_) {
+      w.shutdown_sent = true;
+      (void)send_frame(w.fd, frame_type::shutdown, {});
+    }
+    for (auto& w : workers_) {
+      ::close(w.fd);
+      int status = 0;
+      while (::waitpid(w.pid, &status, 0) < 0 && errno == EINTR) {
+      }
+    }
+    workers_.clear();
+  }
+
+  const job_plan& plan_;
+  const backend_spec& spec_;
+  const std::size_t jobs_;
+  run_report rep_;
+  std::deque<std::size_t> pending_;
+  std::vector<worker_state> workers_;
+  std::vector<int> attempts_ = std::vector<int>(jobs_, 0);
+  std::size_t done_ = 0;
+  int spawn_counter_ = 0;
+  std::size_t respawns_ = 0;
+  std::size_t respawns_worth_counting_ = 0;
+  std::size_t max_respawns_ = 0;
+};
+
+}  // namespace
+
+run_report run_process(const job_plan& plan, const backend_spec& spec) {
+  coordinator c(plan, spec);
+  return c.run();
+}
+
+}  // namespace ups::exp::dispatch
+
+#else  // non-unix
+
+namespace ups::exp::dispatch {
+
+run_report run_process(const job_plan&, const backend_spec&) {
+  throw std::runtime_error(
+      "dispatch process backend requires a unix platform "
+      "(fork/socketpair); use thread or serial here");
+}
+
+}  // namespace ups::exp::dispatch
+
+#endif

@@ -1,0 +1,169 @@
+#include "exp/dispatch/wire.h"
+
+#include <cerrno>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace ups::exp::dispatch {
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint64_t get_varint(const std::uint8_t*& p, const std::uint8_t* end) {
+  std::uint64_t v = 0;
+  for (unsigned shift = 0; shift < 64; shift += 7) {
+    if (p == end) throw wire_error("truncated varint in frame payload");
+    const std::uint8_t b = *p++;
+    v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) return v;
+  }
+  throw wire_error("varint exceeds 64 bits in frame payload");
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  std::uint8_t raw[8];
+  std::memcpy(raw, &v, 8);
+  out.insert(out.end(), raw, raw + 8);
+}
+
+double get_f64(const std::uint8_t*& p, const std::uint8_t* end) {
+  if (end - p < 8) throw wire_error("truncated f64 in frame payload");
+  double v;
+  std::memcpy(&v, p, 8);
+  p += 8;
+  return v;
+}
+
+std::uint32_t check_frame_header(
+    const std::uint8_t header[kFrameHeaderBytes]) {
+  std::uint32_t len;
+  std::memcpy(&len, header, 4);
+  if (len > kMaxFramePayload) {
+    throw wire_error("frame payload length " + std::to_string(len) +
+                     " exceeds the " + std::to_string(kMaxFramePayload) +
+                     "-byte bound (garbage length field)");
+  }
+  const std::uint8_t type = header[4];
+  if (type < static_cast<std::uint8_t>(frame_type::assign) ||
+      type > static_cast<std::uint8_t>(frame_type::shutdown)) {
+    throw wire_error("unknown frame type tag " + std::to_string(type));
+  }
+  return len;
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+
+namespace {
+
+// Full-buffer send over a SOCK_STREAM socketpair. MSG_NOSIGNAL turns a
+// dead peer into EPIPE instead of SIGPIPE (macOS lacks the flag but
+// socketpairs there get SO_NOSIGPIPE set at creation by the coordinator).
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
+
+[[nodiscard]] bool send_all(int fd, const std::uint8_t* data,
+                            std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;  // EPIPE/ECONNRESET: peer gone
+    }
+    data += static_cast<std::size_t>(w);
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+// Reads exactly n bytes. Returns 0 on immediate clean EOF, n on success;
+// throws wire_error on EOF after a partial read (truncated message).
+[[nodiscard]] std::size_t recv_exact(int fd, std::uint8_t* data,
+                                     std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, data + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw wire_error(std::string("frame read failed: ") +
+                       std::strerror(errno));
+    }
+    if (r == 0) {
+      if (got == 0) return 0;
+      throw wire_error("peer closed mid-frame (truncated message)");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return got;
+}
+
+}  // namespace
+
+bool send_frame(int fd, frame_type type,
+                const std::vector<std::uint8_t>& payload) {
+  std::uint8_t header[kFrameHeaderBytes];
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  std::memcpy(header, &len, 4);
+  header[4] = static_cast<std::uint8_t>(type);
+  if (!send_all(fd, header, sizeof header)) return false;
+  return payload.empty() || send_all(fd, payload.data(), payload.size());
+}
+
+bool recv_frame(int fd, frame& out) {
+  std::uint8_t header[kFrameHeaderBytes];
+  if (recv_exact(fd, header, sizeof header) == 0) return false;
+  const std::uint32_t len = check_frame_header(header);
+  out.type = static_cast<frame_type>(header[4]);
+  out.payload.resize(len);
+  if (len > 0 && recv_exact(fd, out.payload.data(), len) == 0) {
+    throw wire_error("peer closed mid-frame (truncated payload)");
+  }
+  return true;
+}
+
+#else  // non-unix: the process backend is unavailable, keep links working
+
+bool send_frame(int, frame_type, const std::vector<std::uint8_t>&) {
+  throw wire_error("frame I/O requires a unix platform");
+}
+
+bool recv_frame(int, frame&) {
+  throw wire_error("frame I/O requires a unix platform");
+}
+
+#endif
+
+void frame_splitter::feed(const std::uint8_t* data, std::size_t n) {
+  // Drop the consumed prefix before it grows unbounded across a long run.
+  if (pos_ > 0 && (pos_ == buf_.size() || pos_ >= (1u << 20))) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+bool frame_splitter::pop(frame& out) {
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < kFrameHeaderBytes) return false;
+  const std::uint32_t len = check_frame_header(buf_.data() + pos_);
+  if (avail < kFrameHeaderBytes + len) return false;
+  out.type = static_cast<frame_type>(buf_[pos_ + 4]);
+  out.payload.assign(
+      buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + kFrameHeaderBytes),
+      buf_.begin() +
+          static_cast<std::ptrdiff_t>(pos_ + kFrameHeaderBytes + len));
+  pos_ += kFrameHeaderBytes + len;
+  return true;
+}
+
+}  // namespace ups::exp::dispatch

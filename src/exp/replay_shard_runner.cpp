@@ -1,13 +1,15 @@
 #include "exp/replay_shard_runner.h"
 
 #include <atomic>
-#include <chrono>
 #include <exception>
 #include <mutex>
 #include <thread>
+#include <utility>
 
 namespace ups::exp {
 
+// Kept verbatim for callers that depend on the rethrow semantics; the
+// dispatch backends use dispatch::run_jobs (per-slot status) instead.
 void parallel_for_jobs(std::size_t jobs, std::size_t threads,
                        const std::function<void(std::size_t)>& body) {
   if (jobs == 0) return;
@@ -44,58 +46,24 @@ void parallel_for_jobs(std::size_t jobs, std::size_t threads,
 
 std::vector<shard_result> run_sharded(const std::vector<shard_task>& tasks,
                                       const shard_options& opt) {
-  std::vector<shard_result> results(tasks.size());
-  std::vector<original_run> originals(tasks.size());
-
-  // Stage 1: one original recording per scenario. Each job builds its own
-  // simulator + network inside run_original; nothing is shared.
-  parallel_for_jobs(tasks.size(), opt.threads, [&](std::size_t i) {
-    const auto t0 = std::chrono::steady_clock::now();
-    originals[i] = run_original(tasks[i].sc);
-    shard_result& r = results[i];
-    r.sc = tasks[i].sc;
-    r.trace_packets = originals[i].trace.packets.size();
-    r.threshold_T = originals[i].threshold_T;
-    r.original_wall_seconds = wall_seconds_since(t0);
-    r.original_peak_pool_packets = originals[i].peak_pool_packets;
-    r.original_flows_completed = originals[i].flows_completed;
-    r.replays.resize(tasks[i].modes.size());
-  });
-
-  // Stage 2: replays fan out over (scenario × mode). The recorded traces
-  // are shared read-only; every job owns its replay network and writes its
-  // pre-assigned result slot, so output order never depends on scheduling.
-  std::vector<std::pair<std::size_t, std::size_t>> jobs;  // (task, mode idx)
-  for (std::size_t i = 0; i < tasks.size(); ++i) {
-    for (std::size_t m = 0; m < tasks[i].modes.size(); ++m) {
-      jobs.emplace_back(i, m);
-    }
-  }
-  parallel_for_jobs(jobs.size(), opt.threads, [&](std::size_t j) {
-    const auto [i, m] = jobs[j];
-    const auto t0 = std::chrono::steady_clock::now();
-    shard_replay& out = results[i].replays[m];
-    out.mode = tasks[i].modes[m];
-    out.result = run_replay(originals[i], out.mode, opt.keep_outcomes,
-                            opt.injection);
-    out.wall_seconds = wall_seconds_since(t0);
-  });
-  return results;
+  dispatch::backend_spec spec;
+  spec.kind = dispatch::backend_kind::thread;
+  spec.workers = opt.threads;
+  dispatch::run_report rep =
+      dispatch::run(dispatch::job_plan::from_tasks(tasks, opt), spec);
+  rep.throw_if_failed();
+  return std::move(rep.results);
 }
 
 std::vector<shard_replay> run_sharded_disk(const disk_shard_task& task,
                                            const shard_options& opt) {
-  std::vector<shard_replay> results(task.modes.size());
-  parallel_for_jobs(task.modes.size(), opt.threads, [&](std::size_t m) {
-    const auto t0 = std::chrono::steady_clock::now();
-    shard_replay& out = results[m];
-    out.mode = task.modes[m];
-    out.result =
-        run_replay_file(task.trace_path, task.topology, task.threshold_T,
-                        out.mode, opt.keep_outcomes, opt.injection);
-    out.wall_seconds = wall_seconds_since(t0);
-  });
-  return results;
+  dispatch::backend_spec spec;
+  spec.kind = dispatch::backend_kind::thread;
+  spec.workers = opt.threads;
+  dispatch::run_report rep =
+      dispatch::run(dispatch::job_plan::from_disk(task, opt), spec);
+  rep.throw_if_failed();
+  return std::move(rep.disk_replays);
 }
 
 }  // namespace ups::exp

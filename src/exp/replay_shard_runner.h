@@ -1,92 +1,37 @@
-// Sharded replay harness: fans independent (scenario × seed × replay-mode)
-// runs across a fixed thread pool, so a full Table-1-style sweep uses every
-// core while the deterministic single-threaded kernel stays untouched.
+// Legacy sharded-replay entry points, kept as thin wrappers over the
+// unified dispatch-backend API (exp/dispatch/backend.h). The shard structs
+// (shard_task, shard_result, disk_shard_task, ...) and wall_seconds_since
+// now live in backend.h; this header re-exports them for old includes.
 //
-// Each worker owns its own simulator, packet pool, and network (replay_trace
-// and run_original construct them per call), and every job writes into a
-// pre-sized slot of the result vector — so the output is byte-identical to
-// running the same jobs in a serial loop, independent of thread count or
-// interleaving. Two stages: originals are recorded once per scenario
-// (stage 1, parallel over scenarios), then replays fan out over
-// (original × mode) (stage 2, parallel over both axes).
+// New code should build a dispatch::job_plan and call dispatch::run with a
+// backend_spec — that is the same thread pool plus a serial reference and a
+// multi-process fabric behind one interface, with per-job status instead of
+// first-exception-wins abandonment.
 #pragma once
 
-#include <chrono>
 #include <cstddef>
 #include <functional>
 #include <vector>
 
-#include "core/replay.h"
-#include "exp/replay_experiment.h"
-#include "exp/scenario.h"
+#include "exp/dispatch/backend.h"
 
 namespace ups::exp {
 
-// Wall-clock helper shared by the harness and the macro bench.
-[[nodiscard]] inline double wall_seconds_since(
-    std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-      .count();
-}
-
-// One shard: record this scenario's original schedule, then replay it with
-// each candidate mode.
-struct shard_task {
-  scenario sc;
-  std::vector<core::replay_mode> modes;
-};
-
-struct shard_replay {
-  core::replay_mode mode = core::replay_mode::lstf;
-  core::replay_result result;
-  double wall_seconds = 0;  // this replay's own wall-clock, informational
-};
-
-struct shard_result {
-  scenario sc;
-  std::uint64_t trace_packets = 0;
-  sim::time_ps threshold_T = 0;
-  double original_wall_seconds = 0;
-  // Original-run in-flight residency (pool high-water mark) and source
-  // accounting, so per-workload sweeps can compare steady-state behavior
-  // across source kinds without rerunning the originals.
-  std::uint64_t original_peak_pool_packets = 0;
-  std::uint64_t original_flows_completed = 0;
-  std::vector<shard_replay> replays;  // same order as the task's modes
-};
-
-struct shard_options {
-  std::size_t threads = 0;  // 0: std::thread::hardware_concurrency()
-  bool keep_outcomes = false;
-  core::injection_mode injection = core::injection_mode::streaming;
-};
-
-// Runs every task and returns results in task order. Worker exceptions are
-// rethrown on the calling thread (first one wins; remaining jobs are
-// abandoned).
+// Deprecated: wraps dispatch::run on the thread backend (opt.threads wide)
+// and throws the first failing job's error, approximating the old rethrow
+// contract. Note the exception is a std::runtime_error carrying the
+// original message, not the original exception object.
 [[nodiscard]] std::vector<shard_result> run_sharded(
     const std::vector<shard_task>& tasks, const shard_options& opt = {});
 
-// One on-disk trace fanned across candidate replay modes. Every worker
-// opens its own cursor over the same path; for a v2 binary trace that is a
-// read-only shared mapping, so N workers replaying the trace touch one
-// physical copy and zero parse work — the disk analogue of run_sharded's
-// stage 2.
-struct disk_shard_task {
-  std::string trace_path;
-  topo::topology topology;
-  sim::time_ps threshold_T = 0;
-  std::vector<core::replay_mode> modes;
-};
-
-// Replays the task's modes in parallel; results come back in mode order,
-// byte-identical to a serial loop over run_replay_file.
+// Deprecated: same wrapper for one on-disk trace fanned across modes.
 [[nodiscard]] std::vector<shard_replay> run_sharded_disk(
     const disk_shard_task& task, const shard_options& opt = {});
 
-// The underlying pool primitive, exposed for other experiment drivers:
-// executes body(0..jobs-1), work-stealing via an atomic cursor, on
-// min(threads, jobs) threads (inline when that is <= 1).
+// Deprecated: the old pool primitive with first-exception-wins abandonment
+// (a throwing job rethrows on the caller and the rest of the jobs are
+// dropped). Prefer dispatch::run_jobs, which records a per-slot status and
+// always runs the whole range.
 void parallel_for_jobs(std::size_t jobs, std::size_t threads,
                        const std::function<void(std::size_t)>& body);
 

@@ -1,6 +1,8 @@
-// Tests for the sharded replay harness: N-thread runs must be byte-identical
-// to the plain serial loop, regardless of thread count, and worker failures
-// must surface on the calling thread.
+// Tests for the thread lane of the dispatch fabric and the legacy sharded
+// entry points: N-thread runs must be byte-identical to the plain serial
+// loop regardless of worker count, a failing job must mark its own slot
+// without abandoning the rest of the plan, and the deprecated wrappers
+// (run_sharded, parallel_for_jobs) must keep their contracts.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -63,9 +65,14 @@ TEST(replay_shard, four_threads_byte_identical_to_serial_loop) {
   }
 
   shard_options opt;
-  opt.threads = 4;
   opt.keep_outcomes = true;
-  const auto sharded = run_sharded(tasks, opt);
+  dispatch::backend_spec spec;
+  spec.kind = dispatch::backend_kind::thread;
+  spec.workers = 4;
+  const auto rep =
+      dispatch::run(dispatch::job_plan::from_tasks(tasks, opt), spec);
+  ASSERT_TRUE(rep.all_ok());
+  const auto& sharded = rep.results;
 
   ASSERT_EQ(sharded.size(), tasks.size());
   for (std::size_t i = 0; i < tasks.size(); ++i) {
@@ -78,16 +85,18 @@ TEST(replay_shard, four_threads_byte_identical_to_serial_loop) {
   }
 }
 
-TEST(replay_shard, thread_count_does_not_change_results) {
+TEST(replay_shard, worker_count_does_not_change_results) {
   const auto tasks = small_sweep();
-  shard_options one;
-  one.threads = 1;
-  one.keep_outcomes = true;
-  shard_options many;
-  many.threads = 8;
-  many.keep_outcomes = true;
-  const auto serial = run_sharded(tasks, one);
-  const auto sharded = run_sharded(tasks, many);
+  shard_options opt;
+  opt.keep_outcomes = true;
+  const auto plan = dispatch::job_plan::from_tasks(tasks, opt);
+  dispatch::backend_spec serial_spec;
+  serial_spec.kind = dispatch::backend_kind::serial;
+  dispatch::backend_spec many_spec;
+  many_spec.kind = dispatch::backend_kind::thread;
+  many_spec.workers = 8;
+  const auto serial = dispatch::run(plan, serial_spec).results;
+  const auto sharded = dispatch::run(plan, many_spec).results;
   ASSERT_EQ(serial.size(), sharded.size());
   for (std::size_t i = 0; i < serial.size(); ++i) {
     EXPECT_EQ(serial[i].trace_packets, sharded[i].trace_packets);
@@ -96,6 +105,55 @@ TEST(replay_shard, thread_count_does_not_change_results) {
     for (std::size_t m = 0; m < serial[i].replays.size(); ++m) {
       expect_identical_results(serial[i].replays[m].result,
                                sharded[i].replays[m].result);
+    }
+  }
+}
+
+TEST(replay_shard, thread_backend_isolates_a_failing_task) {
+  // One task's mode sweep includes the omniscient replayer but its trace
+  // is recorded without hop times, so that replay throws. The old
+  // parallel_for_jobs abandoned the whole pool at the first exception;
+  // the dispatch thread backend must mark only the offending slot and
+  // finish every other task.
+  auto tasks = small_sweep();
+  tasks[1].modes.push_back(core::replay_mode::omniscient);
+  shard_options opt;
+  opt.keep_outcomes = true;
+  dispatch::backend_spec spec;
+  spec.kind = dispatch::backend_kind::thread;
+  spec.workers = 4;
+  const auto rep =
+      dispatch::run(dispatch::job_plan::from_tasks(tasks, opt), spec);
+  ASSERT_EQ(rep.status.size(), tasks.size());
+  EXPECT_EQ(rep.status[0], dispatch::job_status::ok);
+  EXPECT_EQ(rep.status[1], dispatch::job_status::failed);
+  EXPECT_EQ(rep.status[2], dispatch::job_status::ok);
+  EXPECT_FALSE(rep.errors[1].empty());
+  EXPECT_EQ(rep.jobs_failed(), 1u);
+  // The surviving slots carry complete, correct results.
+  EXPECT_GT(rep.results[0].trace_packets, 0u);
+  EXPECT_EQ(rep.results[2].replays.size(), tasks[2].modes.size());
+  // The legacy wrapper surfaces the same failure as an exception.
+  EXPECT_THROW((void)run_sharded(tasks, {}), std::runtime_error);
+}
+
+TEST(replay_shard, legacy_wrapper_matches_dispatch_serial) {
+  const auto tasks = small_sweep();
+  shard_options opt;
+  opt.threads = 2;
+  opt.keep_outcomes = true;
+  const auto wrapped = run_sharded(tasks, opt);
+  dispatch::backend_spec serial_spec;
+  serial_spec.kind = dispatch::backend_kind::serial;
+  const auto ref =
+      dispatch::run(dispatch::job_plan::from_tasks(tasks, opt), serial_spec);
+  ASSERT_EQ(wrapped.size(), ref.results.size());
+  for (std::size_t i = 0; i < wrapped.size(); ++i) {
+    EXPECT_EQ(wrapped[i].trace_packets, ref.results[i].trace_packets);
+    ASSERT_EQ(wrapped[i].replays.size(), ref.results[i].replays.size());
+    for (std::size_t m = 0; m < wrapped[i].replays.size(); ++m) {
+      expect_identical_results(wrapped[i].replays[m].result,
+                               ref.results[i].replays[m].result);
     }
   }
 }

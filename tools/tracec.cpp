@@ -18,11 +18,17 @@
 //       header summary, ingress span, integrity walk, first N records;
 //       v3 adds per-block occupancy, per-column bytes/packet, and the
 //       exact v2-equivalent size for the compression ratio
-//   tracec replay <file> --topo=K [--mode=M] [--util=F] [--seed=N]
-//                 [--upfront]
+//   tracec replay <file> --topo=K [--mode=M] [--upfront]
+//                 [--dispatch=serial|thread[:N]|process[:N]]
+//                 [--kill-worker-after=K]
 //       replay straight from disk (block decode for v3, mmap for v2,
 //       streaming parse for v1) over the named topology and report
-//       overdue fractions + packets/sec
+//       overdue fractions + packets/sec. Without --mode the four
+//       non-omniscient candidates are swept; --dispatch picks the fabric
+//       backend (exp/dispatch), defaulting to serial, and the per-mode
+//       result lines (two-space indented) are byte-identical across
+//       backends and worker counts — even with --kill-worker-after fault
+//       injection killing a process worker mid-range.
 //
 // The v1 text format stays the diffable interchange representation; v2/v3
 // are the replay representations (see src/net/trace_binary.h).
@@ -38,6 +44,8 @@
 #include <vector>
 
 #include "core/replay.h"
+#include "exp/args.h"
+#include "exp/dispatch/backend.h"
 #include "exp/replay_experiment.h"
 #include "exp/scenario.h"
 #include "net/trace_binary.h"
@@ -57,8 +65,9 @@ using namespace ups;
       "                   [--workload=W]\n"
       "  tracec convert <in> <out> [--format=v1|v2|v3]\n"
       "  tracec inspect <file> [--records=N]\n"
-      "  tracec replay <file> --topo=K [--mode=M] [--util=F] [--seed=N]\n"
-      "                [--upfront]\n"
+      "  tracec replay <file> --topo=K [--mode=M] [--upfront]\n"
+      "                [--dispatch=serial|thread[:N]|process[:N]]\n"
+      "                [--kill-worker-after=K]\n"
       "topologies: i2 i2-1g i2-10g rocketfuel fattree\n"
       "modes: lstf lstf-preempt lstf-pheap edf priority omniscient\n"
       "workloads: open-loop paced[:frac] closed-loop[:outstanding]\n"
@@ -359,29 +368,65 @@ int cmd_inspect(const std::string& path, const flags& f) {
   return 0;
 }
 
-int cmd_replay(const std::string& path, const flags& f) {
+int cmd_replay(const std::string& path, const flags& f,
+               const exp::args& shared) {
   if (f.get("topo", "").empty()) {
     std::fprintf(stderr, "tracec replay: --topo is required\n");
     return 2;
   }
-  const topo::topology topology =
-      exp::make_topology(parse_topo(f.get("topo", "")));
-  const core::replay_mode mode = parse_mode(f.get("mode", "lstf"));
-  const sim::time_ps threshold =
-      sim::transmission_time(1500, topology.bottleneck_rate());
+  exp::disk_shard_task task;
+  task.trace_path = path;
+  task.topology = exp::make_topology(parse_topo(f.get("topo", "")));
+  task.threshold_T =
+      sim::transmission_time(1500, task.topology.bottleneck_rate());
+  const std::string one_mode = f.get("mode", "");
+  if (!one_mode.empty()) {
+    task.modes = {parse_mode(one_mode)};
+  } else {
+    task.modes = {core::replay_mode::lstf, core::replay_mode::lstf_pheap,
+                  core::replay_mode::edf,
+                  core::replay_mode::priority_output_time};
+  }
+  exp::shard_options opt;
+  opt.injection = f.has("upfront") ? core::injection_mode::upfront
+                                   : core::injection_mode::streaming;
+  // --dispatch / --kill-worker-after come via the shared exp::args parser,
+  // so the syntax is exactly the bench's. Default backend: serial.
+  exp::dispatch::backend_spec spec;
+  spec.kind = exp::dispatch::backend_kind::serial;
+  if (!shared.dispatch.empty()) {
+    spec = exp::dispatch::backend_spec::parse(shared.dispatch);
+  }
+  spec.kill_worker_after = shared.kill_worker_after;
+
   const auto t0 = std::chrono::steady_clock::now();
-  const auto res = exp::run_replay_file(
-      path, topology, threshold, mode, /*keep_outcomes=*/false,
-      f.has("upfront") ? core::injection_mode::upfront
-                       : core::injection_mode::streaming);
+  const exp::dispatch::run_report rep = exp::dispatch::run(
+      exp::dispatch::job_plan::from_disk(std::move(task), opt), spec);
   const double wall = wall_since(t0);
-  std::printf("%s: replayed %llu packets with %s in %.3fs (%.0f packets/s)\n",
-              path.c_str(), static_cast<unsigned long long>(res.total),
-              core::to_string(mode), wall,
-              static_cast<double>(res.total) / wall);
-  std::printf("overdue: %.4f  overdue beyond T=%lld ps: %.4f\n",
-              res.frac_overdue(), static_cast<long long>(res.threshold_T),
-              res.frac_overdue_beyond_T());
+  rep.throw_if_failed();
+  // The two-space result lines are deterministic (no timings), so
+  //   tracec replay ... | grep '^  '
+  // diffs clean across serial, thread:N, process:N, and fault-injected
+  // runs — that is the identity check CI performs.
+  std::uint64_t total = 0;
+  for (const exp::shard_replay& r : rep.disk_replays) {
+    std::printf("  mode=%-12s total=%llu overdue=%.6f overdue_T=%.6f\n",
+                core::to_string(r.mode),
+                static_cast<unsigned long long>(r.result.total),
+                r.result.frac_overdue(), r.result.frac_overdue_beyond_T());
+    total += r.result.total;
+  }
+  for (const auto& wf : rep.worker_failures) {
+    std::printf("worker %d %s: %s (%zu jobs reassigned%s)\n", wf.worker,
+                exp::dispatch::to_string(wf.kind), wf.message.c_str(),
+                wf.reassigned_jobs.size(),
+                wf.respawned ? ", respawned" : "");
+  }
+  std::printf("%s: replayed %zu mode(s) via %s in %.3fs "
+              "(%.0f packets/s aggregate)\n",
+              path.c_str(), rep.disk_replays.size(),
+              exp::dispatch::to_string(spec.kind), wall,
+              static_cast<double>(total) / wall);
   return 0;
 }
 
@@ -395,7 +440,9 @@ int main(int argc, char** argv) {
   try {
     if (cmd == "gen") return cmd_gen(argv[2], f);
     if (cmd == "inspect") return cmd_inspect(argv[2], f);
-    if (cmd == "replay") return cmd_replay(argv[2], f);
+    if (cmd == "replay") {
+      return cmd_replay(argv[2], f, exp::args::parse(argc, argv));
+    }
     if (cmd == "convert") {
       if (argc < 4) usage();
       flags cf;
