@@ -58,6 +58,15 @@
 // peak residency is flat in trace length (measured ~1.2k packets whether
 // the trace is 30k or 120k) and sits far below the open-loop baseline.
 //
+// A loss-sweep lane re-records the WAN reference scenario under each
+// per-link fault process (iid Bernoulli at two rates, bursty
+// Gilbert-Elliott, adversarial jamming) and replays every lane with the
+// 4-mode candidate sweep — the per-heuristic degradation curves under
+// loss. The drop schedule is part of the recorded trace
+// (replay-under-loss), so the lanes are byte-identity-gated across the
+// serial, thread, and process backends, and the zero-loss lane must match
+// the plain sweep's first scenario exactly (faults-off == faults-absent).
+//
 // Gates (process exits non-zero on violation):
 //   identity      sharded results must be byte-identical to the serial run
 //                 (counters, thresholds, and per-packet outcomes for every
@@ -80,6 +89,11 @@
 //                 threads and --threads >= 2 (a 1-core box cannot exhibit a
 //                 wall-clock speedup; the gate reports SKIPPED instead of
 //                 producing a meaningless failure)
+//   loss sweep    every loss-sweep lane byte-identical across serial,
+//                 thread, and process backends; the zero-loss lane
+//                 byte-identical to the plain sweep; every lossy lane
+//                 records > 0 drops; delivered + dropped == injected for
+//                 every lane x mode — always on
 //   residency     streaming peak packet-pool residency on the largest
 //                 scenario <= --max-residency × the up-front peak — the
 //                 O(in-flight) vs O(trace) claim, measured, not assumed
@@ -149,6 +163,7 @@
 #include "exp/args.h"
 #include "exp/dispatch/backend.h"
 #include "exp/replay_experiment.h"
+#include "net/fault.h"
 #include "net/trace_binary.h"
 #include "net/trace_io.h"
 
@@ -189,7 +204,7 @@ using namespace ups;
 // gate. Timings are the only fields excluded.
 bool same_result(const core::replay_result& x, const core::replay_result& y) {
   if (x.total != y.total || x.overdue != y.overdue ||
-      x.overdue_beyond_T != y.overdue_beyond_T ||
+      x.overdue_beyond_T != y.overdue_beyond_T || x.dropped != y.dropped ||
       x.threshold_T != y.threshold_T) {
     return false;
   }
@@ -529,6 +544,77 @@ int main(int argc, char** argv) {
     for (const auto& wf : frep.worker_failures) {
       fault_respawned = fault_respawned || wf.respawned;
     }
+  }
+
+  // --- loss-sweep lane: fault model x loss rate x replay heuristic ----------
+  // The WAN reference scenario re-recorded under each per-link fault
+  // process, replayed with every candidate mode. The drop schedule is part
+  // of the recorded trace (replay-under-loss: replay re-enacts the original
+  // run's drops rather than sampling a live fault process), so every
+  // backend must reproduce the exact same counters and outcome vectors.
+  // Lane 0 runs with the fault axis disabled and must be byte-identical to
+  // the plain sweep's first scenario — the faults-off == faults-absent
+  // gate.
+  const char* const loss_axis[] = {
+      "",                     // zero-loss reference
+      "bernoulli:0.001",      // iid 0.1%
+      "bernoulli:0.01",       // iid 1%
+      "ge:0.0005,0.02,0.05",  // bursty ~1% avg, expected burst 20 decisions
+      "jam:100,0.2",          // adversary jams 20% of every 100 us cycle
+  };
+  std::vector<exp::shard_task> loss_tasks;
+  for (const char* f : loss_axis) {
+    exp::shard_task t;
+    t.sc.topo = exp::topo_kind::i2_default;
+    t.sc.utilization = 0.7;
+    t.sc.sched = core::sched_kind::random;
+    t.sc.seed = a.seed;
+    t.sc.packet_budget = budget;
+    if (*f != '\0') t.sc.fault = net::fault_spec::parse(f);
+    t.modes = modes;
+    loss_tasks.push_back(std::move(t));
+  }
+  const auto loss_plan =
+      exp::dispatch::job_plan::from_tasks(loss_tasks, mem_opt);
+  const auto run_loss = [&](const exp::dispatch::backend_spec& spec) {
+    auto rep = exp::dispatch::run(loss_plan, spec);
+    rep.throw_if_failed();
+    return std::move(rep.results);
+  };
+  const auto loss_serial = run_loss(serial_spec);
+  bool loss_backends_same = identical(loss_serial, run_loss(sharded_spec));
+  if (process_available) {
+    for (const std::size_t nproc : {2u, 4u}) {
+      exp::dispatch::backend_spec pspec;
+      pspec.kind = exp::dispatch::backend_kind::process;
+      pspec.workers = nproc;
+      loss_backends_same =
+          loss_backends_same && identical(loss_serial, run_loss(pspec));
+    }
+  }
+  bool loss_zero_same =
+      loss_serial[0].trace_packets == serial[0].trace_packets &&
+      loss_serial[0].threshold_T == serial[0].threshold_T &&
+      loss_serial[0].replays.size() == serial[0].replays.size();
+  for (std::size_t m = 0; loss_zero_same && m < serial[0].replays.size();
+       ++m) {
+    loss_zero_same = same_result(loss_serial[0].replays[m].result,
+                                 serial[0].replays[m].result);
+  }
+  // Every lossy lane must actually lose packets (a fault process that
+  // never fires tests nothing), and replay must conserve them: delivered +
+  // dropped == injected, for every lane and mode.
+  bool loss_fired = true;
+  bool loss_conserved = true;
+  for (std::size_t i = 0; i < loss_serial.size(); ++i) {
+    std::uint64_t lane_dropped = 0;
+    for (const auto& rep : loss_serial[i].replays) {
+      lane_dropped = rep.result.dropped;
+      loss_conserved = loss_conserved &&
+                       rep.result.total + rep.result.dropped ==
+                           loss_serial[i].trace_packets;
+    }
+    if (i > 0 && lane_dropped == 0) loss_fired = false;
   }
 
   // Residency proxy: replay the bench's largest trace once with up-front
@@ -1010,6 +1096,28 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
   }
+  std::printf("\nloss sweep (I2 @70%% Random, original recorded under fault, "
+              "replay-under-loss across modes):\n");
+  std::printf("  %-22s %9s %8s", "fault", "packets", "dropped");
+  for (const auto m : modes) std::printf(" %16s", core::to_string(m));
+  std::printf("\n");
+  for (std::size_t i = 0; i < loss_serial.size(); ++i) {
+    const auto& r = loss_serial[i];
+    const std::uint64_t lane_dropped =
+        r.replays.empty() ? 0 : r.replays[0].result.dropped;
+    std::printf("  %-22s %9llu %8llu",
+                loss_axis[i][0] != '\0' ? loss_axis[i] : "none",
+                static_cast<unsigned long long>(r.trace_packets),
+                static_cast<unsigned long long>(lane_dropped));
+    for (const auto& rep : r.replays) {
+      std::printf("   %6.4f/%7.4f", rep.result.frac_overdue(),
+                  rep.result.frac_overdue_beyond_T());
+    }
+    std::printf("\n");
+  }
+  std::printf("  backends identical: %s, zero-loss lane == plain sweep: %s\n",
+              loss_backends_same ? "yes" : "NO",
+              loss_zero_same ? "yes" : "NO");
   std::printf("\nworkload lane (I2 @70%% Random, per-kind original + LSTF "
               "replay; peak@2x gates the plateau):\n");
   std::printf("  %-14s %9s %14s %14s %12s %12s %10s\n", "workload", "packets",
@@ -1279,6 +1387,29 @@ int main(int argc, char** argv) {
           << "}";
     }
     out << "},\n"
+        << "  \"loss_sweep\": {\"identical_across_backends\": "
+        << (loss_backends_same ? "true" : "false")
+        << ", \"zero_loss_identical\": "
+        << (loss_zero_same ? "true" : "false") << ", \"lanes\": [\n";
+    for (std::size_t i = 0; i < loss_serial.size(); ++i) {
+      const auto& r = loss_serial[i];
+      out << "    {\"fault\": \""
+          << (loss_axis[i][0] != '\0' ? loss_axis[i] : "none")
+          << "\", \"trace_packets\": " << r.trace_packets
+          << ", \"dropped\": "
+          << (r.replays.empty() ? 0 : r.replays[0].result.dropped)
+          << ", \"modes\": [";
+      for (std::size_t m = 0; m < r.replays.size(); ++m) {
+        const auto& rep = r.replays[m];
+        out << (m ? ", " : "") << "{\"mode\": \""
+            << core::to_string(rep.mode)
+            << "\", \"frac_overdue\": " << rep.result.frac_overdue()
+            << ", \"frac_overdue_beyond_T\": "
+            << rep.result.frac_overdue_beyond_T() << "}";
+      }
+      out << "]}" << (i + 1 < loss_serial.size() ? "," : "") << "\n";
+    }
+    out << "  ]},\n"
         << "  \"workloads\": [\n";
     for (std::size_t i = 0; i < lanes.size(); ++i) {
       const auto& l = lanes[i];
@@ -1344,6 +1475,30 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "FAIL: --kill-worker-after injection recorded no worker "
                  "failure — the recovery path went untested\n");
+    ++failures;
+  }
+  if (!loss_backends_same) {
+    std::fprintf(stderr,
+                 "FAIL: a loss-sweep lane differs across dispatch backends "
+                 "— the fault RNG is not counter-deterministic\n");
+    ++failures;
+  }
+  if (!loss_zero_same) {
+    std::fprintf(stderr,
+                 "FAIL: the zero-loss lane differs from the plain sweep — "
+                 "a disabled fault process perturbed the schedule\n");
+    ++failures;
+  }
+  if (!loss_fired) {
+    std::fprintf(stderr,
+                 "FAIL: a lossy lane recorded zero drops — its fault "
+                 "process never fired\n");
+    ++failures;
+  }
+  if (!loss_conserved) {
+    std::fprintf(stderr,
+                 "FAIL: replay-under-loss leaked packets: delivered + "
+                 "dropped != injected on some lane/mode\n");
     ++failures;
   }
   // The process-count speedup bar, like the thread one, needs real cores.

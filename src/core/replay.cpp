@@ -53,22 +53,50 @@ net::packet_ptr packet_from_record(net::network& net,
   p->flow_size_bytes = r.flow_size_bytes;
   p->ref_egress_time = r.egress_time;
   p->ref_queueing_delay = r.queueing_delay;
+  // Replay-under-loss: a recorded drop is re-enacted at the same hop (the
+  // network force-drops it there; no fault process runs during replay).
+  // The record has no o(p), so header initialization uses the effective
+  // output time the packet was tracking when it died: the earliest egress
+  // it could still have reached from the drop point.
+  sim::time_ps ref_out = r.egress_time;
+  if (r.dropped()) {
+    if (r.drop_hop < 0 ||
+        static_cast<std::size_t>(r.drop_hop) >= r.path.size()) {
+      throw std::invalid_argument("replay: drop record hop out of range");
+    }
+    p->forced_drop_hop = r.drop_hop;
+    p->forced_drop_kind = r.dropped_kind;
+    const auto j = static_cast<std::size_t>(r.drop_hop);
+    if (r.dropped_kind == net::drop_kind::wire && j + 1 < r.path.size()) {
+      // Lost after its last bit left path[j]: it would next contend at
+      // path[j+1] one propagation delay later.
+      const auto& pt = net.port_between(r.path[j], r.path[j + 1]);
+      ref_out = r.drop_time + pt.prop_delay() + net.tmin(*p, j + 1);
+    } else {
+      // Died at path[j]'s output queue before transmitting.
+      ref_out = r.drop_time + net.tmin(*p, j);
+    }
+  }
   switch (opt.mode) {
     case replay_mode::lstf:
     case replay_mode::lstf_preemptive:
     case replay_mode::lstf_pheap: {
       const sim::time_ps tmin = net.tmin(*p, 0);
-      p->slack = r.egress_time - r.ingress_time - tmin;
+      p->slack = ref_out - r.ingress_time - tmin;
       break;
     }
     case replay_mode::edf:
-      p->deadline = r.egress_time;
+      p->deadline = ref_out;
       break;
     case replay_mode::priority_output_time:
-      p->priority = r.egress_time;
+      p->priority = ref_out;
       break;
     case replay_mode::omniscient: {
-      if (r.hop_departs.size() != r.path.size()) {
+      // A dropped packet only transmitted at the hops its recorded departs
+      // cover (wire drop at j: hops 0..j; buffer drop at j: hops 0..j-1);
+      // replay force-drops it before any later hop consults a deadline, so
+      // the tail entries just need to exist.
+      if (!r.dropped() && r.hop_departs.size() != r.path.size()) {
         throw std::invalid_argument(
             "omniscient replay requires a trace recorded with hop times");
       }
@@ -77,12 +105,16 @@ net::packet_ptr packet_from_record(net::network& net,
       // per-hop transmission time.
       p->hop_deadlines.resize(r.path.size());
       for (std::size_t j = 0; j < r.path.size(); ++j) {
-        const net::node_id here = r.path[j];
-        const net::node_id next =
-            (j + 1 < r.path.size()) ? r.path[j + 1] : r.dst_host;
-        const auto& pt = net.port_between(here, next);
-        sim::time_ps start =
-            r.hop_departs[j] - pt.transmission_time(r.size_bytes);
+        sim::time_ps start;
+        if (j < r.hop_departs.size()) {
+          const net::node_id here = r.path[j];
+          const net::node_id next =
+              (j + 1 < r.path.size()) ? r.path[j + 1] : r.dst_host;
+          const auto& pt = net.port_between(here, next);
+          start = r.hop_departs[j] - pt.transmission_time(r.size_bytes);
+        } else {
+          start = r.drop_time;  // never consulted: forced drop comes first
+        }
         if (opt.omniscient_quantum > 0) {
           start -= start % opt.omniscient_quantum;
         }
@@ -158,7 +190,9 @@ replay_result replay_trace(net::trace_cursor& cur,
   sim::simulator sim;
   net::network net(sim);
   topo(net);
-  net.set_buffer_bytes(0);  // replay uses unbounded buffers (no drops)
+  // Replay uses unbounded buffers and attaches no fault process: the only
+  // drops are the forced replays of losses recorded in the original run.
+  net.set_buffer_bytes(0);
   net.set_preemption(opt.mode == replay_mode::lstf_preemptive);
   net.set_scheduler_factory(
       make_factory(scheduler_for(opt.mode), opt.seed, &net));
@@ -184,6 +218,8 @@ replay_result replay_trace(net::trace_cursor& cur,
                                             p.queueing_delay});
     }
   };
+  net.hooks().on_drop = [&res](const net::packet&, net::node_id, sim::time_ps,
+                               net::drop_kind) { ++res.dropped; };
 
   std::uint64_t injected = 0;
   if (opt.injection == injection_mode::streaming) {
@@ -209,7 +245,7 @@ replay_result replay_trace(net::trace_cursor& cur,
     sim.run();
   }
 
-  if (res.total != injected) {
+  if (res.total + res.dropped != injected) {
     throw std::runtime_error("replay lost packets (buffering bug?)");
   }
   // Egress order is deterministic but mode-dependent; id order is the

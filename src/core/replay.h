@@ -51,9 +51,14 @@ struct replay_result {
   // Per-packet outcomes sorted by packet id (deterministic across modes and
   // injection strategies; only filled when replay_options::keep_outcomes).
   std::vector<replay_outcome> outcomes;
-  std::uint64_t total = 0;
+  std::uint64_t total = 0;             // packets that reached egress
   std::uint64_t overdue = 0;           // o'(p) > o(p)
   std::uint64_t overdue_beyond_T = 0;  // o'(p) > o(p) + T
+  // Packets force-dropped during replay because the original run recorded
+  // them as lost (replay-under-loss). Excluded from `total` and from every
+  // overdue counter/fraction: a packet that never egressed in the original
+  // schedule has no o(p) to be late against. total + dropped == injected.
+  std::uint64_t dropped = 0;
   sim::time_ps threshold_T = 0;
   // Residency high-water marks: distinct packet objects the replay's pool
   // ever allocated (== peak simultaneously-live packets) and the event

@@ -41,6 +41,7 @@ void encode_replay_result(const replay_result& r,
   put_varint(out, r.total);
   put_varint(out, r.overdue);
   put_varint(out, r.overdue_beyond_T);
+  put_varint(out, r.dropped);
   put_varint(out, zigzag(r.threshold_T));
   put_varint(out, r.peak_pool_packets);
   put_varint(out, r.peak_event_slots);
@@ -72,6 +73,7 @@ replay_result decode_replay_result(const std::uint8_t*& p,
   r.total = get_varint(p, end);
   r.overdue = get_varint(p, end);
   r.overdue_beyond_T = get_varint(p, end);
+  r.dropped = get_varint(p, end);
   r.threshold_T = unzigzag(get_varint(p, end));
   r.peak_pool_packets = get_varint(p, end);
   r.peak_event_slots = get_varint(p, end);

@@ -11,6 +11,9 @@
 //   --dispatch=SPEC   replay fabric backend: serial | thread[:N] |
 //                     process[:N] (see dispatch::backend_spec::parse);
 //                     empty means the binary's default
+//   --fault=SPEC      per-link fault process for the original run:
+//                     bernoulli:p | ge:p_g,p_b,r | jam:period_us,duty[,speedup]
+//                     (see net::fault_spec::parse); empty means lossless
 //   --kill-worker-after=K
 //                     fault injection for the process backend: the first
 //                     worker SIGKILLs itself after computing its K-th job
@@ -32,6 +35,7 @@ struct args {
   double utilization = 0.0;  // <= 0: use the experiment default
   std::string workload;      // empty: use the experiment default
   std::string dispatch;      // empty: use the binary's default backend
+  std::string fault;         // empty: lossless links
   std::uint64_t kill_worker_after = 0;  // 0: fault injection off
 
   [[nodiscard]] static args parse(int argc, char** argv) {
@@ -50,6 +54,8 @@ struct args {
         a.workload = s.substr(11);
       } else if (s.rfind("--dispatch=", 0) == 0) {
         a.dispatch = s.substr(11);
+      } else if (s.rfind("--fault=", 0) == 0) {
+        a.fault = s.substr(8);
       } else if (s.rfind("--kill-worker-after=", 0) == 0) {
         a.kill_worker_after = std::strtoull(s.c_str() + 20, nullptr, 10);
       } else if (s == "--quick") {

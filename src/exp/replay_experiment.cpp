@@ -14,6 +14,16 @@ namespace ups::exp {
 original_run run_original(const scenario& sc) {
   original_run out;
   out.topology = make_topology(sc.topo);
+  // Adversarial jamming with speedup: the network compensates for the jammed
+  // duty cycle by running its core links faster. Scaling the stored topology
+  // (not the built network) keeps original and replay on identical rates —
+  // the replay net is populated from out.topology too.
+  if (sc.fault.kind == net::fault_kind::jam && sc.fault.jam_speedup > 1.0) {
+    for (auto& l : out.topology.core_links) {
+      l.rate = static_cast<sim::bits_per_sec>(
+          static_cast<double>(l.rate) * sc.fault.jam_speedup);
+    }
+  }
   out.threshold_T =
       sim::transmission_time(1500, out.topology.bottleneck_rate());
 
@@ -22,6 +32,7 @@ original_run run_original(const scenario& sc) {
   topo::populate(out.topology, net);
   net.set_buffer_bytes(0);  // paper: buffers large enough for no drops
   net.set_scheduler_factory(core::make_factory(sc.sched, sc.seed, &net));
+  net.set_fault(sc.fault, sc.seed);
   net.build();
 
   net::trace_recorder recorder(net, sc.record_hops);

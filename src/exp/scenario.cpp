@@ -72,6 +72,12 @@ std::string scenario::label() const {
       s += knob;
       break;
   }
+  // Fault tag only when a fault process is active: zero-loss labels must
+  // stay byte-identical to output from before faults existed.
+  if (fault.enabled()) {
+    s += " ";
+    s += fault.label();
+  }
   return s;
 }
 
@@ -81,6 +87,7 @@ void apply_overrides(const args& a, scenario& sc) {
   if (!a.workload.empty()) {
     sc.workload_kind = traffic::parse_workload(a.workload, sc.workload_spec);
   }
+  if (!a.fault.empty()) sc.fault = net::fault_spec::parse(a.fault);
 }
 
 }  // namespace ups::exp

@@ -7,6 +7,7 @@
 
 #include "core/registry.h"
 #include "exp/args.h"
+#include "net/fault.h"
 #include "topo/topology.h"
 #include "traffic/source.h"
 
@@ -44,6 +45,10 @@ struct scenario {
   // request-response, or synchronized incast fan-in) plus its knobs.
   traffic::source_kind workload_kind = traffic::source_kind::open_loop;
   traffic::source_tuning workload_spec;
+  // Per-link fault process applied to the original run's router-router
+  // links (net::fault_spec::parse syntax); disabled by default so
+  // zero-loss scenario labels stay byte-identical to pre-fault output.
+  net::fault_spec fault;
 
   // Unique across every knob that changes the generated schedule: topology,
   // utilization, scheduler, flow-size distribution, and the workload kind
@@ -54,7 +59,8 @@ struct scenario {
 
 // Applies parsed CLI overrides onto a scenario: --seed= always,
 // --utilization= when set, --workload= (kind plus any ":knob" suffix) when
-// set. Budget overrides still go through args::budget().
+// set, --fault= (net::fault_spec::parse syntax) when set. Budget overrides
+// still go through args::budget().
 void apply_overrides(const args& a, scenario& sc);
 
 }  // namespace ups::exp

@@ -1,0 +1,95 @@
+// Per-link fault processes: the lossy/adversarial scenario axis.
+//
+// Three models, attached per directed router->router port at
+// network::build() time:
+//   bernoulli        iid loss with probability p
+//   gilbert_elliott  two-state bursty loss: Good loses with p, Bad with
+//                    p_bad, and the state flips with probability `flip`
+//                    after every decision (expected burst length 1/flip)
+//   jam              adversarial on/off jamming: a packet whose last bit
+//                    would cross the wire while (now mod period) <
+//                    duty * period is lost. Deterministic in time — no RNG —
+//                    with an optional speedup factor that compensates the
+//                    router->router link rates (Böhm et al.).
+//
+// Randomized decisions come from a counter-based generator: each decision
+// is a pure hash of (scenario seed, link id, decision index), so a given
+// (seed, topology, workload) produces the same drop set no matter which
+// dispatch backend runs it or how the work is sharded. Link ids are port
+// ids, which are stable because build() creates ports in link-declaration
+// order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.h"
+
+namespace ups::net {
+
+// Where a packet died. `buffer`: evicted or tail-dropped at a full port
+// queue. `wire`: consumed by a link fault process after its last bit left
+// the transmitter.
+enum class drop_kind : std::uint8_t { buffer = 0, wire = 1 };
+
+enum class fault_kind : std::uint8_t {
+  none = 0,
+  bernoulli,
+  gilbert_elliott,
+  jam,
+};
+
+struct fault_spec {
+  fault_kind kind = fault_kind::none;
+  double p = 0.0;       // bernoulli loss prob; GE loss prob in Good
+  double p_bad = 0.0;   // GE loss prob in Bad
+  double flip = 0.0;    // GE per-decision state-flip prob
+  sim::time_ps jam_period = 0;  // jam on/off cycle length
+  double jam_duty = 0.0;        // fraction of each period jammed
+  double jam_speedup = 1.0;     // router-router rate compensation factor
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return kind != fault_kind::none;
+  }
+
+  // Compact tag for scenario labels, e.g. "bern:0.01", "ge:0.001,0.25,0.1",
+  // "jam:100,0.2" (+",s2" when speedup != 1). Empty for `none` so zero-loss
+  // labels are byte-identical to pre-fault builds.
+  [[nodiscard]] std::string label() const;
+
+  // Parses "bernoulli:p" | "ge:p_g,p_b,r" | "jam:period_us,duty[,speedup]"
+  // | "none" | "". The jam period is given in microseconds and converted to
+  // picoseconds. Throws std::invalid_argument on malformed input or
+  // out-of-range parameters.
+  static fault_spec parse(const std::string& s);
+};
+
+// Fault process for one directed link. Holds the per-link decision counter
+// (and the GE channel state, itself a deterministic function of the
+// decision history), so outcomes depend only on (seed, link id, decision
+// index) plus — for jam — the simulation clock.
+class link_fault {
+ public:
+  link_fault() = default;
+  link_fault(const fault_spec& spec, std::uint64_t seed, std::int32_t link_id)
+      : spec_(spec), seed_(seed), link_id_(link_id) {}
+
+  // Decides whether the packet whose last bit leaves this link's
+  // transmitter at `now` is lost. Advances the decision counter (and GE
+  // state) exactly once per call.
+  [[nodiscard]] bool lose(sim::time_ps now);
+
+  [[nodiscard]] std::uint64_t decisions() const noexcept { return counter_; }
+
+ private:
+  // Uniform double in [0, 1) for (decision `ctr`, sub-stream `lane`).
+  [[nodiscard]] double uniform(std::uint64_t ctr, std::uint64_t lane) const;
+
+  fault_spec spec_;
+  std::uint64_t seed_ = 0;
+  std::int32_t link_id_ = 0;
+  std::uint64_t counter_ = 0;
+  bool bad_ = false;  // GE channel state
+};
+
+}  // namespace ups::net

@@ -28,6 +28,12 @@ void network::add_link(node_id a, node_id b, sim::bits_per_sec rate,
   links_.push_back(link_spec{a, b, rate, prop_delay});
 }
 
+void network::set_fault(const fault_spec& f, std::uint64_t seed) {
+  if (built_) throw std::logic_error("network: set_fault after build");
+  fault_ = f;
+  fault_seed_ = seed;
+}
+
 void network::build() {
   if (built_) throw std::logic_error("network: build called twice");
   if (!factory_) throw std::logic_error("network: no scheduler factory");
@@ -47,6 +53,20 @@ void network::build() {
   for (const auto& l : links_) {
     make_port(l.a, l.b, l.rate, l.delay);
     make_port(l.b, l.a, l.rate, l.delay);
+  }
+
+  // Fault processes attach only to router->router ports, keyed by port id —
+  // stable across builds because ports are created in link-declaration
+  // order above.
+  if (fault_.enabled()) {
+    link_faults_.resize(ports_.size());
+    for (const auto& pt : ports_) {
+      if (nodes_[pt->from()].kind == node_kind::router &&
+          nodes_[pt->to()].kind == node_kind::router) {
+        link_faults_[static_cast<std::size_t>(pt->id())] =
+            link_fault(fault_, fault_seed_, pt->id());
+      }
+    }
   }
 
   // Topology is final: flatten routing into the dense table. Router-only
@@ -189,6 +209,22 @@ void network::post(packet_ptr p, node_id to, sim::time_ps at, bool early) {
 void network::transmitted(packet_ptr p, const port& from_port,
                           sim::time_ps now) {
   const node_id to = from_port.to();
+  // Replay-under-loss: a wire drop recorded at hop j in the original run is
+  // re-enacted when the packet's last bit leaves path[j] (hop == j + 1 by
+  // then: deliver() increments before the forwarding port).
+  if (p->forced_drop_hop >= 0 && p->forced_drop_kind == drop_kind::wire &&
+      p->hop == static_cast<std::size_t>(p->forced_drop_hop) + 1) {
+    count_drop(*p, from_port.from(), now, drop_kind::wire);
+    return;
+  }
+  // Live fault process on this link (router->router only; last-bit exit is
+  // the loss instant, so jamming windows are judged at `now`).
+  if (fault_.enabled() && nodes_[from_port.from()].kind == node_kind::router &&
+      nodes_[to].kind == node_kind::router &&
+      link_faults_[static_cast<std::size_t>(from_port.id())].lose(now)) {
+    count_drop(*p, from_port.from(), now, drop_kind::wire);
+    return;
+  }
   if (nodes_[to].kind == node_kind::host) {
     // Last bit left the egress router: this is o(p).
     if (hooks_.on_egress) hooks_.on_egress(*p, now);
@@ -203,6 +239,14 @@ void network::deliver(packet_ptr p, node_id at) {
       p->ingress_time = sim_.now();
       if (hooks_.on_ingress) hooks_.on_ingress(*p, sim_.now());
     }
+    // Replay-under-loss: a buffer drop recorded at hop j is re-enacted on
+    // arrival at path[j] (before hop increments), standing in for the
+    // original run's output-queue eviction there.
+    if (p->forced_drop_hop >= 0 && p->forced_drop_kind == drop_kind::buffer &&
+        p->hop == static_cast<std::size_t>(p->forced_drop_hop)) {
+      count_drop(*p, at, sim_.now(), drop_kind::buffer);
+      return;
+    }
     const node_id next = p->at_last_router() ? p->dst_host : p->path[p->hop + 1];
     ++p->hop;
     port_between(at, next).receive(std::move(p));
@@ -216,9 +260,11 @@ void network::deliver(packet_ptr p, node_id at) {
   }
 }
 
-void network::count_drop(const packet& p, node_id at, sim::time_ps now) {
+void network::count_drop(const packet& p, node_id at, sim::time_ps now,
+                         drop_kind kind) {
   ++stats_.dropped;
-  if (hooks_.on_drop) hooks_.on_drop(p, at, now);
+  if (kind == drop_kind::wire) ++stats_.dropped_wire;
+  if (hooks_.on_drop) hooks_.on_drop(p, at, now, kind);
 }
 
 void network::set_host_handler(node_id host,

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "net/fault.h"
 #include "net/node.h"
 #include "net/packet.h"
 #include "net/packet_pool.h"
@@ -43,14 +44,18 @@ struct network_hooks {
   std::function<void(const packet&, sim::time_ps)> on_ingress;
   // Last bit of p left its egress router (defines o(p)).
   std::function<void(const packet&, sim::time_ps)> on_egress;
-  // A packet was dropped at a full buffer.
-  std::function<void(const packet&, node_id at, sim::time_ps)> on_drop;
+  // A packet died: evicted/tail-dropped at a full buffer (`at` = the node
+  // whose output port dropped it) or consumed by a link fault process on
+  // the wire (`at` = the transmitting node).
+  std::function<void(const packet&, node_id at, sim::time_ps, drop_kind)>
+      on_drop;
 };
 
 struct network_stats {
   std::uint64_t injected = 0;
   std::uint64_t delivered = 0;
-  std::uint64_t dropped = 0;
+  std::uint64_t dropped = 0;       // all drops, buffer + wire
+  std::uint64_t dropped_wire = 0;  // link-fault (and forced wire) drops only
 };
 
 class network {
@@ -69,6 +74,12 @@ class network {
   // Buffer capacity per port in bytes; <= 0 means unlimited.
   void set_buffer_bytes(std::int64_t b) { buffer_bytes_ = b; }
   void set_preemption(bool on) { preemption_ = on; }
+  // Attaches a fault process to every router->router port at build() time,
+  // seeded so drop decisions are a pure function of (seed, port id,
+  // decision index). Host uplinks stay reliable: every traced packet still
+  // has a well-defined i(p).
+  void set_fault(const fault_spec& f, std::uint64_t seed);
+  [[nodiscard]] const fault_spec& fault() const noexcept { return fault_; }
   // Materializes ports. Must be called exactly once before any traffic.
   void build();
 
@@ -82,7 +93,8 @@ class network {
 
   // --- forwarding internals (used by port) ---
   void transmitted(packet_ptr p, const port& from_port, sim::time_ps now);
-  void count_drop(const packet& p, node_id at, sim::time_ps now);
+  void count_drop(const packet& p, node_id at, sim::time_ps now,
+                  drop_kind kind);
 
   // --- lookup ---
   [[nodiscard]] const node& node_at(node_id id) const { return nodes_[id]; }
@@ -153,6 +165,9 @@ class network {
   std::int64_t buffer_bytes_ = 0;
   bool preemption_ = false;
   bool built_ = false;
+  fault_spec fault_;
+  std::uint64_t fault_seed_ = 0;
+  std::vector<link_fault> link_faults_;  // indexed by port id; built_ only
 
   // Dense route table replacing the old hashed (src,dst) cache: one row per
   // router with an attached host (the only possible route sources), filled

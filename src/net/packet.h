@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "net/fault.h"
 #include "sim/time.h"
 
 namespace ups::net {
@@ -68,6 +69,11 @@ struct packet {
   // reference values must travel with the packet. -1 = not a replay packet.
   sim::time_ps ref_egress_time = -1;
   sim::time_ps ref_queueing_delay = 0;
+  // Replay-under-loss: a packet recorded as dropped in the original run is
+  // force-dropped at the same hop in replay (wire: leaving path[hop],
+  // buffer: at path[hop]'s output queue). -1 = delivered normally.
+  std::int32_t forced_drop_hop = -1;
+  drop_kind forced_drop_kind = drop_kind::buffer;
 
   [[nodiscard]] bool at_last_router() const noexcept {
     return hop + 1 >= path.size();
@@ -108,6 +114,8 @@ struct packet {
     record_hops = false;
     ref_egress_time = -1;
     ref_queueing_delay = 0;
+    forced_drop_hop = -1;
+    forced_drop_kind = drop_kind::buffer;
   }
 };
 

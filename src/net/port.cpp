@@ -114,7 +114,7 @@ void port::on_complete() {
 
 void port::drop(packet_ptr p) {
   ++stats_.packets_dropped;
-  net_.count_drop(*p, from_, sim_.now());
+  net_.count_drop(*p, from_, sim_.now(), drop_kind::buffer);
 }
 
 }  // namespace ups::net

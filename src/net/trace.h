@@ -37,6 +37,14 @@ struct packet_record {
   sim::time_ps queueing_delay = 0;
   std::uint64_t flow_size_bytes = 0;
   std::vector<sim::time_ps> hop_departs;  // per-router last-bit exits
+  // Drop record (lossy originals): the packet died at path[drop_hop] —
+  // evicted at that router's output buffer, or lost on the wire leaving it
+  // — at drop_time, and egress_time stays -1. drop_hop < 0: delivered.
+  std::int32_t drop_hop = -1;
+  drop_kind dropped_kind = drop_kind::buffer;
+  sim::time_ps drop_time = -1;
+
+  [[nodiscard]] bool dropped() const noexcept { return drop_hop >= 0; }
 };
 
 // Pull-based source of packet records in non-decreasing ingress-time order —
@@ -119,6 +127,9 @@ class trace_recorder {
   }
 
  private:
+  void record(const packet& p, sim::time_ps now, std::int32_t drop_hop,
+              drop_kind kind);
+
   bool with_hop_times_;
   trace result_;
 };

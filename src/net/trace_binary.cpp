@@ -110,7 +110,8 @@ file_image map_trace_file(const std::string& path, trace_access access) {
 [[nodiscard]] std::uint32_t payload_len_of(const packet_record& r) {
   return kTraceV2FixedPayloadBytes +
          4 * static_cast<std::uint32_t>(r.path.size()) +
-         8 * static_cast<std::uint32_t>(r.hop_departs.size());
+         8 * static_cast<std::uint32_t>(r.hop_departs.size()) +
+         (r.dropped() ? kTraceV2DropSuffixBytes : 0);
 }
 
 // Serializes one record (length prefix + payload) into `buf`, reusing its
@@ -134,6 +135,11 @@ void encode_record(std::vector<std::uint8_t>& buf, const packet_record& r) {
                            static_cast<std::uint32_t>(r.hop_departs.size()));
   for (const node_id n : r.path) append_le<std::int32_t>(buf, n);
   for (const sim::time_ps d : r.hop_departs) append_le<std::int64_t>(buf, d);
+  if (r.dropped()) {
+    append_le<std::int32_t>(buf, r.drop_hop);
+    append_le<std::uint32_t>(buf, static_cast<std::uint32_t>(r.dropped_kind));
+    append_le<std::int64_t>(buf, r.drop_time);
+  }
 }
 
 // Decodes one payload of `len` bytes into `r`, reusing its vector capacity.
@@ -145,6 +151,9 @@ void decode_payload(const std::uint8_t* p, std::uint32_t len,
     throw trace_format_error("trace v2: record payload shorter than the "
                              "fixed prefix");
   }
+  r.drop_hop = -1;
+  r.dropped_kind = drop_kind::buffer;
+  r.drop_time = -1;
   r.id = load_le<std::uint64_t>(p);
   r.flow_id = load_le<std::uint64_t>(p + 8);
   r.seq_in_flow = load_le<std::uint32_t>(p + 16);
@@ -160,7 +169,7 @@ void decode_payload(const std::uint8_t* p, std::uint32_t len,
   // Overflow-safe: all operands fit in 64 bits by construction.
   const std::uint64_t want = static_cast<std::uint64_t>(
       kTraceV2FixedPayloadBytes) + 4ull * npath + 8ull * ndeparts;
-  if (want != len) {
+  if (want != len && want + kTraceV2DropSuffixBytes != len) {
     throw trace_format_error(
         "trace v2: record array lengths disagree with its length prefix");
   }
@@ -173,6 +182,17 @@ void decode_payload(const std::uint8_t* p, std::uint32_t len,
   r.hop_departs.resize(ndeparts);
   for (std::uint32_t i = 0; i < ndeparts; ++i) {
     r.hop_departs[i] = load_le<std::int64_t>(q + 8ull * i);
+  }
+  if (want + kTraceV2DropSuffixBytes == len) {
+    q += 8ull * ndeparts;
+    r.drop_hop = load_le<std::int32_t>(q);
+    const std::uint32_t kind = load_le<std::uint32_t>(q + 4);
+    r.drop_time = load_le<std::int64_t>(q + 8);
+    if (r.drop_hop < 0 || static_cast<std::uint32_t>(r.drop_hop) >= npath ||
+        kind > 1) {
+      throw trace_format_error("trace v2: malformed drop suffix");
+    }
+    r.dropped_kind = static_cast<drop_kind>(kind);
   }
 }
 
@@ -351,6 +371,9 @@ enum v3_col : std::size_t {
   kColPath = 11,
   kColDepartsLen = 12,
   kColDeparts = 13,
+  // 16-column (lossy) files only:
+  kColDropInfo = 14,
+  kColDropTime = 15,
 };
 
 struct v3_header_fields {
@@ -359,6 +382,7 @@ struct v3_header_fields {
   std::uint64_t data_offset = 0;
   std::uint64_t index_capacity = 0;
   std::uint32_t records_per_block = 0;
+  std::uint32_t column_count = 0;  // normalized: 0 -> kTraceV3ColumnCount
 };
 
 v3_header_fields check_v3_header(const std::uint8_t* data, std::size_t size) {
@@ -385,6 +409,13 @@ v3_header_fields check_v3_header(const std::uint8_t* data, std::size_t size) {
   h.records_per_block = load_le<std::uint32_t>(data + 48);
   if (h.records_per_block == 0) {
     throw trace_format_error("trace v3: zero records per block");
+  }
+  h.column_count = load_le<std::uint32_t>(data + 52);
+  if (h.column_count == 0) h.column_count = kTraceV3ColumnCount;
+  if (h.column_count != kTraceV3ColumnCount &&
+      h.column_count != kTraceV3MaxColumnCount) {
+    throw trace_format_error("trace v3: unsupported column count " +
+                             std::to_string(h.column_count));
   }
   // Division-form bound first so the multiplication below cannot overflow.
   if (h.index_capacity >
@@ -658,8 +689,11 @@ std::size_t trace_mmap_cursor::next_run(
 
 trace_v3_writer::trace_v3_writer(std::ostream& os,
                                  std::uint64_t record_capacity,
-                                 std::uint32_t records_per_block)
-    : os_(&os), records_per_block_(records_per_block) {
+                                 std::uint32_t records_per_block,
+                                 bool with_drops)
+    : os_(&os),
+      records_per_block_(records_per_block),
+      ncols_(with_drops ? kTraceV3MaxColumnCount : kTraceV3ColumnCount) {
   if (records_per_block_ == 0) {
     throw std::logic_error("trace_v3_writer: records_per_block must be > 0");
   }
@@ -677,6 +711,11 @@ trace_v3_writer::trace_v3_writer(std::ostream& os,
   store_le<std::uint64_t>(header + 32, data_offset_);
   store_le<std::uint64_t>(header + 40, index_capacity_);
   store_le<std::uint32_t>(header + 48, records_per_block_);
+  // Zero-loss files leave column_count 0 (legacy spelling of the 14 base
+  // columns) so their bytes stay identical to pre-drop-support output.
+  if (ncols_ != kTraceV3ColumnCount) {
+    store_le<std::uint32_t>(header + 52, ncols_);
+  }
   os_->write(reinterpret_cast<const char*>(header), sizeof(header));
   // Reserve the index region as zeros; finish() seeks back and fills it.
   static constexpr std::size_t kChunk = 1 << 16;
@@ -735,6 +774,20 @@ void trace_v3_writer::append(const packet_record& r) {
     put_varint(cols_[kColDeparts], zigzag(wrap_diff(d, prev_depart)));
     prev_depart = d;
   }
+  if (ncols_ == kTraceV3MaxColumnCount) {
+    const std::uint64_t info =
+        r.dropped() ? ((static_cast<std::uint64_t>(r.drop_hop) + 1) << 2) |
+                          static_cast<std::uint64_t>(r.dropped_kind)
+                    : 0;
+    put_varint(cols_[kColDropInfo], info);
+    put_varint(cols_[kColDropTime],
+               r.dropped() ? zigzag(wrap_diff(r.drop_time, r.ingress_time))
+                           : 0);
+  } else if (r.dropped()) {
+    throw trace_format_error(
+        "trace v3: dropped record appended to a writer without drop "
+        "columns");
+  }
   ++in_block_;
   ++written_;
   if (in_block_ == records_per_block_) flush_block();
@@ -746,25 +799,26 @@ void trace_v3_writer::flush_block() {
     throw trace_format_error(
         "trace v3: writer exceeded its declared record capacity");
   }
-  std::uint64_t bytes = kTraceV3BlockHeaderBytes;
-  for (const auto& col : cols_) bytes += col.size();
+  const std::uint32_t header_bytes = trace_v3_block_header_bytes(ncols_);
+  std::uint64_t bytes = header_bytes;
+  for (std::size_t c = 0; c < ncols_; ++c) bytes += cols_[c].size();
   if (bytes > UINT32_MAX) {
     throw trace_format_error("trace v3: block exceeds 4 GiB");
   }
   block_buf_.clear();
-  block_buf_.resize(kTraceV3BlockHeaderBytes);
+  block_buf_.resize(header_bytes);
   std::uint8_t* h = block_buf_.data();
   store_le<std::uint32_t>(h, in_block_);
   store_le<std::uint32_t>(h + 4, static_cast<std::uint32_t>(bytes));
   store_le<std::int64_t>(h + 8, block_base_);
   store_le<std::int64_t>(h + 16, prev_ingress_);  // block max ingress
-  for (std::size_t c = 0; c < kTraceV3ColumnCount; ++c) {
+  for (std::size_t c = 0; c < ncols_; ++c) {
     store_le<std::uint32_t>(h + 24 + 4 * c,
                             static_cast<std::uint32_t>(cols_[c].size()));
   }
-  for (auto& col : cols_) {
-    block_buf_.insert(block_buf_.end(), col.begin(), col.end());
-    col.clear();
+  for (std::size_t c = 0; c < ncols_; ++c) {
+    block_buf_.insert(block_buf_.end(), cols_[c].begin(), cols_[c].end());
+    cols_[c].clear();
   }
   os_->write(reinterpret_cast<const char*>(block_buf_.data()),
              static_cast<std::streamsize>(block_buf_.size()));
@@ -811,7 +865,14 @@ void write_trace_v3(std::ostream& os, const trace& t) {
                      return t.packets[a].ingress_time <
                             t.packets[b].ingress_time;
                    });
-  trace_v3_writer w(os, t.packets.size());
+  bool any_dropped = false;
+  for (const auto& r : t.packets) {
+    if (r.dropped()) {
+      any_dropped = true;
+      break;
+    }
+  }
+  trace_v3_writer w(os, t.packets.size(), kTraceV3BlockRecords, any_dropped);
   for (const std::uint32_t i : order) w.append(t.packets[i]);
   w.finish();
 }
@@ -869,6 +930,7 @@ void trace_v3_cursor::validate_header_and_index() {
   data_offset_ = h.data_offset;
   index_capacity_ = h.index_capacity;
   records_per_block_ = h.records_per_block;
+  ncols_ = h.column_count;
   // One pass over the leading index pins down every block's placement
   // before any decode: blocks must tile [data_offset, file end) exactly and
   // carry non-decreasing ingress bounds. After this, seeks can trust any
@@ -878,7 +940,7 @@ void trace_v3_cursor::validate_header_and_index() {
   sim::time_ps prev_max = INT64_MIN;
   for (std::uint64_t b = 0; b < block_count_; ++b) {
     const block_bounds e = bounds_at(b);
-    if (e.bytes < kTraceV3BlockHeaderBytes) {
+    if (e.bytes < trace_v3_block_header_bytes(ncols_)) {
       throw trace_format_error("trace v3: block smaller than its header");
     }
     if (e.offset != end) {
@@ -921,14 +983,15 @@ std::uint32_t trace_v3_cursor::records_in_block(std::uint64_t b) const {
   return load_le<std::uint32_t>(data_ + bounds_at(b).offset);
 }
 
-std::array<std::uint32_t, kTraceV3ColumnCount> trace_v3_cursor::column_bytes_at(
-    std::uint64_t b) const {
+std::array<std::uint32_t, kTraceV3MaxColumnCount>
+trace_v3_cursor::column_bytes_at(std::uint64_t b) const {
   if (b >= block_count_) {
     throw std::out_of_range("trace v3: block index out of range");
   }
   const std::uint8_t* h = data_ + bounds_at(b).offset;
-  std::array<std::uint32_t, kTraceV3ColumnCount> out{};
-  for (std::size_t c = 0; c < kTraceV3ColumnCount; ++c) {
+  // Columns the file does not store read back as zero bytes.
+  std::array<std::uint32_t, kTraceV3MaxColumnCount> out{};
+  for (std::size_t c = 0; c < ncols_; ++c) {
     out[c] = load_le<std::uint32_t>(h + 24 + 4 * c);
   }
   return out;
@@ -950,9 +1013,9 @@ void trace_v3_cursor::load_block(std::uint64_t b) {
     throw trace_format_error(
         "trace v3: block header disagrees with the index");
   }
-  std::uint32_t col_bytes[kTraceV3ColumnCount];
-  std::uint64_t total = kTraceV3BlockHeaderBytes;
-  for (std::size_t c = 0; c < kTraceV3ColumnCount; ++c) {
+  std::uint32_t col_bytes[kTraceV3MaxColumnCount] = {};
+  std::uint64_t total = trace_v3_block_header_bytes(ncols_);
+  for (std::size_t c = 0; c < ncols_; ++c) {
     col_bytes[c] = load_le<std::uint32_t>(p + 24 + 4 * c);
     total += col_bytes[c];
   }
@@ -960,10 +1023,10 @@ void trace_v3_cursor::load_block(std::uint64_t b) {
     throw trace_format_error(
         "trace v3: column sizes disagree with the block size");
   }
-  const std::uint8_t* col[kTraceV3ColumnCount];
+  const std::uint8_t* col[kTraceV3MaxColumnCount] = {};
   {
-    const std::uint8_t* q = p + kTraceV3BlockHeaderBytes;
-    for (std::size_t c = 0; c < kTraceV3ColumnCount; ++c) {
+    const std::uint8_t* q = p + trace_v3_block_header_bytes(ncols_);
+    for (std::size_t c = 0; c < ncols_; ++c) {
       col[c] = q;
       q += col_bytes[c];
     }
@@ -984,6 +1047,10 @@ void trace_v3_cursor::load_block(std::uint64_t b) {
   dst_.resize(n);
   path_pos_.resize(n + 1);
   departs_pos_.resize(n + 1);
+  if (ncols_ == kTraceV3MaxColumnCount) {
+    dropinfo_.resize(n);
+    drop_time_.resize(n);
+  }
   {
     const std::uint8_t* s = col[kColIngress];
     const std::uint8_t* send = s + col_bytes[kColIngress];
@@ -1181,6 +1248,29 @@ void trace_v3_cursor::load_block(std::uint64_t b) {
       }
     }
   }
+  if (ncols_ == kTraceV3MaxColumnCount) {
+    {
+      const std::uint8_t* s = col[kColDropInfo];
+      const std::uint8_t* send = s + col_bytes[kColDropInfo];
+      for (std::uint32_t i = 0; i < n; ++i) {
+        dropinfo_[i] = narrow_u32(get_varint(s, send), "dropinfo");
+      }
+      if (s != send) {
+        throw trace_format_error(
+            "trace v3: dropinfo column has leftover bytes");
+      }
+    }
+    {
+      const std::uint8_t* s = col[kColDropTime];
+      const std::uint8_t* send = s + col_bytes[kColDropTime];
+      for (std::uint32_t i = 0; i < n; ++i) {
+        drop_time_[i] = wrap_add(ingress_[i], unzigzag(get_varint(s, send)));
+      }
+      if (s != send) {
+        throw trace_format_error("trace v3: dtime column has leftover bytes");
+      }
+    }
+  }
   // Assemble the whole block once; next()/next_run() then serve pointers
   // into records_ with no per-record copying. Never shrink records_ — the
   // final short block would otherwise destroy warmed slot capacities and a
@@ -1215,6 +1305,20 @@ void trace_v3_cursor::assemble(std::uint32_t i, packet_record& r) const {
                 path_flat_.begin() + path_pos_[i + 1]);
   r.hop_departs.assign(departs_flat_.begin() + departs_pos_[i],
                        departs_flat_.begin() + departs_pos_[i + 1]);
+  r.drop_hop = -1;
+  r.dropped_kind = drop_kind::buffer;
+  r.drop_time = -1;
+  if (ncols_ == kTraceV3MaxColumnCount && dropinfo_[i] != 0) {
+    const std::uint32_t info = dropinfo_[i];
+    const std::uint32_t kind = info & 3;
+    const std::uint32_t hop = (info >> 2) - 1;
+    if (kind > 1 || hop >= r.path.size()) {
+      throw trace_format_error("trace v3: malformed dropinfo value");
+    }
+    r.drop_hop = static_cast<std::int32_t>(hop);
+    r.dropped_kind = static_cast<drop_kind>(kind);
+    r.drop_time = drop_time_[i];
+  }
 }
 
 const packet_record* trace_v3_cursor::next() {

@@ -22,12 +22,16 @@
 //   records  back to back from byte 32, each:
 //     u32  payload_len        bytes after this prefix;
 //                             == 72 + 4*path_len + 8*departs_len
+//                                (+ 16 when a drop suffix follows)
 //     u64  id        u64 flow_id      u32 seq_in_flow   u32 size_bytes
 //     i32  src_host  i32 dst_host
 //     i64  ingress_time        i64 egress_time   i64 queueing_delay
 //     u64  flow_size_bytes
 //     u32  path_len  u32 departs_len
 //     i32  path[path_len]      i64 hop_departs[departs_len]
+//     optional drop suffix (only for records of packets lost in the
+//     original run; its presence is exactly the extra 16 payload bytes):
+//       i32  drop_hop   u32 drop_kind (0 buffer, 1 wire)   i64 drop_time
 //   footer index at index_offset
 //     u64  offsets[record_count]   byte offset of each record's length
 //                                  prefix, sorted by (ingress_time, offset)
@@ -48,7 +52,10 @@
 //     32  8  data_offset      == 64 + 32*index_capacity
 //     40  8  index_capacity   index slots reserved (>= block_count)
 //     48  4  records_per_block
-//     52 12  reserved (zero)
+//     52  4  column_count     0 (legacy, meaning 14) or the number of
+//                             per-block columns; lossy traces write 16
+//                             (the 14 base columns + dropinfo + dtime)
+//     56  8  reserved (zero)
 //   block index directly after the header (NOT a footer): one 32-byte
 //   entry per block, so a reader seeks mid-file after touching only the
 //   head of the file —
@@ -57,13 +64,13 @@
 //     i64  min_ingress     == the block's first record's ingress time
 //     i64  max_ingress     == the block's last record's ingress time
 //   blocks back to back from data_offset, each:
-//     block header  80 bytes
+//     block header  24 + 4*column_count bytes (80 legacy, 88 lossy)
 //       u32  record_count   in (0, records_per_block]
 //       u32  block_bytes    == the index entry's `bytes`
 //       i64  base_ingress   == the index entry's min_ingress
 //       i64  max_ingress    == the index entry's max_ingress
-//       u32  col_bytes[14]  per-column payload sizes; their sum + 80
-//                           must equal block_bytes
+//       u32  col_bytes[column_count]  per-column payload sizes; their sum
+//                           + the block header size must equal block_bytes
 //     column payloads, concatenated in column order (see
 //     kTraceV3ColumnNames): each column is one varint stream holding
 //     `record_count` values (path/departs data columns hold as many values
@@ -80,6 +87,10 @@
 //       qdelay         zigzag
 //       path data      zigzag per hop
 //       departs data   zigzag delta chain seeded from the record's ingress
+//       dropinfo       (16-column files only) plain varint; 0 for a
+//                      delivered record, else ((drop_hop + 1) << 2) | kind
+//       dtime          (16-column files only) zigzag(drop_time - ingress);
+//                      0 for a delivered record
 //
 // Records are stored in non-decreasing ingress order (the writer enforces
 // it), so the block index IS the seek structure: binary-search min/max
@@ -108,21 +119,35 @@ inline constexpr std::uint32_t kTraceV2Version = 2;
 inline constexpr std::uint32_t kTraceV2HeaderBytes = 32;
 // Fixed (non-array) payload bytes of one record.
 inline constexpr std::uint32_t kTraceV2FixedPayloadBytes = 72;
+// Optional per-record drop suffix (i32 drop_hop, u32 drop_kind,
+// i64 drop_time); present exactly when the payload length says so.
+inline constexpr std::uint32_t kTraceV2DropSuffixBytes = 16;
 
 inline constexpr char kTraceV3Magic[8] = {'U', 'P', 'S', 'T',
                                           'R', 'C', 'v', '3'};
 inline constexpr std::uint32_t kTraceV3Version = 3;
 inline constexpr std::uint32_t kTraceV3HeaderBytes = 64;
 inline constexpr std::uint32_t kTraceV3IndexEntryBytes = 32;
+// Block header size of a legacy (14-column) file; the general form is
+// 24 + 4 * column_count.
 inline constexpr std::uint32_t kTraceV3BlockHeaderBytes = 80;
 // Default records per block: large enough to amortize the 80B block header
 // + 32B index entry to ~0.03 B/record and give the per-column decode loops
 // long runs, small enough that the SoA scratch stays cache-resident.
 inline constexpr std::uint32_t kTraceV3BlockRecords = 1024;
+// Base column set (zero-loss traces; header column_count 0 means this) and
+// the widened set lossy traces write (base + dropinfo + dtime).
 inline constexpr std::uint32_t kTraceV3ColumnCount = 14;
-inline constexpr const char* kTraceV3ColumnNames[kTraceV3ColumnCount] = {
+inline constexpr std::uint32_t kTraceV3MaxColumnCount = 16;
+inline constexpr const char* kTraceV3ColumnNames[kTraceV3MaxColumnCount] = {
     "ingress", "egress", "id",     "flow",  "seq",  "size",  "src",
-    "dst",     "qdelay", "flowsz", "plen",  "path", "dlen",  "departs"};
+    "dst",     "qdelay", "flowsz", "plen",  "path", "dlen",  "departs",
+    "dropinfo", "dtime"};
+
+[[nodiscard]] constexpr std::uint32_t trace_v3_block_header_bytes(
+    std::uint32_t column_count) noexcept {
+  return 24 + 4 * column_count;
+}
 
 // Page-cache advice for file-backed cursors: a serial replay drains the
 // whole mapping front to back (MADV_SEQUENTIAL — aggressive readahead,
@@ -290,8 +315,13 @@ class trace_mmap_cursor final : public trace_cursor {
 // trace_format_error.
 class trace_v3_writer {
  public:
+  // `with_drops` widens the column set to kTraceV3MaxColumnCount so drop
+  // records can be stored; appending a dropped record to a base-column
+  // writer throws. Zero-loss traces must keep with_drops == false so their
+  // bytes stay identical to files written before drop support existed.
   trace_v3_writer(std::ostream& os, std::uint64_t record_capacity,
-                  std::uint32_t records_per_block = kTraceV3BlockRecords);
+                  std::uint32_t records_per_block = kTraceV3BlockRecords,
+                  bool with_drops = false);
   trace_v3_writer(const trace_v3_writer&) = delete;
   trace_v3_writer& operator=(const trace_v3_writer&) = delete;
 
@@ -319,7 +349,8 @@ class trace_v3_writer {
   sim::time_ps prev_ingress_ = 0;
   std::uint64_t prev_id_ = 0;
   std::uint64_t prev_flow_ = 0;
-  std::array<std::vector<std::uint8_t>, kTraceV3ColumnCount> cols_;
+  std::uint32_t ncols_;  // kTraceV3ColumnCount, or Max with drops
+  std::array<std::vector<std::uint8_t>, kTraceV3MaxColumnCount> cols_;
   std::vector<std::uint8_t> block_buf_;  // reused assembly scratch
 
   struct index_entry {
@@ -401,8 +432,11 @@ class trace_v3_cursor final : public trace_cursor {
   // Record count / per-column payload bytes of block `b`, read off its
   // block header without decoding. Inspection tools only.
   [[nodiscard]] std::uint32_t records_in_block(std::uint64_t b) const;
-  [[nodiscard]] std::array<std::uint32_t, kTraceV3ColumnCount>
+  [[nodiscard]] std::array<std::uint32_t, kTraceV3MaxColumnCount>
   column_bytes_at(std::uint64_t b) const;
+  // Columns stored per record in this file: kTraceV3ColumnCount for
+  // zero-loss traces, kTraceV3MaxColumnCount when drop columns are present.
+  [[nodiscard]] std::uint32_t column_count() const noexcept { return ncols_; }
 
   // Repositions at the first record of block `b` (binary entry point for
   // block-range consumers) or at the first record whose ingress time is
@@ -435,6 +469,7 @@ class trace_v3_cursor final : public trace_cursor {
   std::uint64_t data_offset_ = 0;
   std::uint64_t index_capacity_ = 0;
   std::uint32_t records_per_block_ = 0;
+  std::uint32_t ncols_ = kTraceV3ColumnCount;  // from the header
 
   // Decoded current block (structure of arrays; capacities persist).
   std::uint64_t cur_block_ = UINT64_MAX;
@@ -451,6 +486,9 @@ class trace_v3_cursor final : public trace_cursor {
   std::vector<std::uint32_t> path_pos_, departs_pos_;  // prefix offsets
   std::vector<node_id> path_flat_;
   std::vector<sim::time_ps> departs_flat_;
+  // Drop columns (sized only for 16-column files; empty otherwise).
+  std::vector<std::uint32_t> dropinfo_;  // 0, or ((drop_hop+1)<<2)|kind
+  std::vector<sim::time_ps> drop_time_;
 
   // Assembled records for the current block, served by pointer; sized to
   // the largest block seen and never shrunk so slot capacities persist.

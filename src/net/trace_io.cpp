@@ -18,6 +18,12 @@ constexpr const char* kMagic = "ups-trace v1";
 // Parses one packet line into `r`, reusing its vector capacity. Shared by
 // the batch loader and the streaming reader so the format lives in one place.
 void read_record(std::istream& is, packet_record& r) {
+  // Reset the optional drop suffix first: `r` is reused across records by
+  // the streaming reader, and delivered records carry no suffix to
+  // overwrite a stale one.
+  r.drop_hop = -1;
+  r.dropped_kind = drop_kind::buffer;
+  r.drop_time = -1;
   std::size_t path_len = 0;
   is >> r.id >> r.flow_id >> r.seq_in_flow >> r.size_bytes >> r.src_host >>
       r.dst_host >> r.ingress_time >> r.egress_time >> r.queueing_delay >>
@@ -29,6 +35,21 @@ void read_record(std::istream& is, packet_record& r) {
   r.hop_departs.resize(departs);
   for (auto& d : r.hop_departs) is >> d;
   if (!is) throw trace_format_error("trace: truncated record");
+  // Optional drop suffix "D <hop> <kind> <time>" — unambiguous because
+  // every other token on a record line is numeric.
+  is >> std::ws;
+  if (is.peek() == 'D') {
+    is.get();
+    int kind = 0;
+    is >> r.drop_hop >> kind >> r.drop_time;
+    if (!is) throw trace_format_error("trace: truncated drop record");
+    if (r.drop_hop < 0 ||
+        static_cast<std::size_t>(r.drop_hop) >= r.path.size() ||
+        (kind != 0 && kind != 1)) {
+      throw trace_format_error("trace: malformed drop record");
+    }
+    r.dropped_kind = static_cast<drop_kind>(kind);
+  }
 }
 
 void read_magic(std::istream& is) {
@@ -65,6 +86,10 @@ void write_trace_record(std::ostream& os, const packet_record& r) {
   for (const auto n : r.path) os << ' ' << n;
   os << ' ' << r.hop_departs.size();
   for (const auto d : r.hop_departs) os << ' ' << d;
+  if (r.dropped()) {
+    os << " D " << r.drop_hop << ' ' << static_cast<int>(r.dropped_kind)
+       << ' ' << r.drop_time;
+  }
   os << '\n';
 }
 
@@ -170,6 +195,19 @@ std::unique_ptr<trace_cursor> open_trace_cursor(const std::string& path,
   // Not binary: hand it to the text reader, whose magic check produces the
   // error for anything that is not a trace at all.
   return std::make_unique<trace_stream_reader>(path);
+}
+
+bool trace_file_has_drop_records(const std::string& path) {
+  if (is_trace_v3_file(path)) {
+    // v3 answers off the header: only wide-column files can hold drops.
+    trace_v3_cursor cur(path, trace_access::random);
+    return cur.column_count() > kTraceV3ColumnCount;
+  }
+  auto cur = open_trace_cursor(path);
+  while (const packet_record* r = cur->next()) {
+    if (r->dropped()) return true;
+  }
+  return false;
 }
 
 }  // namespace ups::net

@@ -84,4 +84,10 @@ class trace_stream_reader final : public trace_cursor {
     const std::string& path,
     trace_access access = trace_access::sequential);
 
+// Whether an on-disk trace (any format) carries drop records — what a
+// streaming converter needs to know up front to pick the target layout
+// (v3 writes a wider column set for lossy traces). O(header) for v3;
+// a record walk for v2/v1.
+[[nodiscard]] bool trace_file_has_drop_records(const std::string& path);
+
 }  // namespace ups::net

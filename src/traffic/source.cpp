@@ -291,8 +291,8 @@ closed_loop_source::closed_loop_source(net::network& net,
     auto prev = net_.hooks().on_drop;
     net_.hooks().on_drop = [this, prev = std::move(prev)](
                                const net::packet& p, net::node_id at,
-                               sim::time_ps now) {
-      if (prev) prev(p, at, now);
+                               sim::time_ps now, net::drop_kind kind) {
+      if (prev) prev(p, at, now, kind);
       on_delivered(p);
     };
   }

@@ -14,6 +14,7 @@ inline void expect_identical_results(const core::replay_result& a,
   EXPECT_EQ(a.total, b.total);
   EXPECT_EQ(a.overdue, b.overdue);
   EXPECT_EQ(a.overdue_beyond_T, b.overdue_beyond_T);
+  EXPECT_EQ(a.dropped, b.dropped);
   EXPECT_EQ(a.threshold_T, b.threshold_T);
   ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
   for (std::size_t i = 0; i < a.outcomes.size(); ++i) {

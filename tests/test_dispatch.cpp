@@ -55,6 +55,7 @@ core::replay_result sample_result() {
   r.total = 5;
   r.overdue = 2;
   r.overdue_beyond_T = 1;
+  r.dropped = 3;  // replay-under-loss counter must cross the wire too
   r.threshold_T = 12'000;
   r.peak_pool_packets = 7;
   r.peak_event_slots = 19;

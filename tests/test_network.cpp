@@ -134,9 +134,8 @@ TEST(network, drop_tail_on_full_buffer) {
   const auto h0 = f.topo.host_id(0);
   const auto h1 = f.topo.host_id(1);
   int drops = 0;
-  f.net.hooks().on_drop = [&](const packet&, node_id, sim::time_ps) {
-    ++drops;
-  };
+  f.net.hooks().on_drop = [&](const packet&, node_id, sim::time_ps,
+                              drop_kind) { ++drops; };
   for (int i = 0; i < 4; ++i) {
     f.net.send_from_host(make_packet(i + 1, h0, h1, 1500));
   }
@@ -153,9 +152,8 @@ TEST(network, buffer_admits_again_once_service_drains) {
   const auto h0 = f.topo.host_id(0);
   const auto h1 = f.topo.host_id(1);
   int drops = 0;
-  f.net.hooks().on_drop = [&](const packet&, node_id, sim::time_ps) {
-    ++drops;
-  };
+  f.net.hooks().on_drop = [&](const packet&, node_id, sim::time_ps,
+                              drop_kind) { ++drops; };
   for (int i = 0; i < 4; ++i) {
     auto p = make_packet(i + 1, h0, h1, 1500);
     p->path = f.net.route(h0, h1);

@@ -224,7 +224,8 @@ TEST(closed_loop_source_test, drops_cannot_leak_window_slots) {
             core::sched_kind::fifo, /*buffer_bytes=*/4'500);
   std::uint64_t hook_drops = 0;
   f.net.hooks().on_drop = [&hook_drops](const net::packet&, net::node_id,
-                                        sim::time_ps) { ++hook_drops; };
+                                        sim::time_ps,
+                                        net::drop_kind) { ++hook_drops; };
   std::vector<flow_spec> flows;
   for (std::uint64_t i = 0; i < 16; ++i) {
     flows.push_back(flow_spec{i + 1, f.topo.host_id(i % 4),

@@ -39,6 +39,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -62,17 +63,20 @@ using namespace ups;
       "usage:\n"
       "  tracec gen <out> [--topo=K] [--util=F] [--sched=NAME] [--seed=N]\n"
       "                   [--packets=N] [--format=v1|v2|v3] [--hops]\n"
-      "                   [--workload=W]\n"
+      "                   [--workload=W] [--fault=F]\n"
       "  tracec convert <in> <out> [--format=v1|v2|v3]\n"
       "  tracec inspect <file> [--records=N]\n"
       "  tracec replay <file> --topo=K [--mode=M] [--upfront]\n"
       "                [--dispatch=serial|thread[:N]|process[:N]]\n"
-      "                [--kill-worker-after=K]\n"
+      "                [--kill-worker-after=K] [--fault=F]\n"
       "topologies: i2 i2-1g i2-10g rocketfuel fattree\n"
       "modes: lstf lstf-preempt lstf-pheap edf priority omniscient\n"
       "workloads: open-loop paced[:frac] closed-loop[:outstanding]\n"
       "           closed-loop-tcp[:outstanding] incast[:degree]\n"
-      "           mixed[:degree[:outstanding[:share]]]\n");
+      "           mixed[:degree[:outstanding[:share]]]\n"
+      "faults: bernoulli:p ge:p_good,p_bad,flip jam:period_us,duty[,speedup]\n"
+      "        (replay only needs --fault to re-apply a jam speedup's link\n"
+      "        rates; the drop schedule itself is in the trace)\n");
   std::exit(2);
 }
 
@@ -133,6 +137,7 @@ int cmd_gen(const std::string& out, const flags& f) {
   sc.record_hops = f.has("hops");
   const std::string workload = f.get("workload", "open-loop");
   sc.workload_kind = traffic::parse_workload(workload, sc.workload_spec);
+  sc.fault = net::fault_spec::parse(f.get("fault", ""));
   auto orig = exp::run_original(sc);
   // Ingress-sort at record time so the v1 file streams straight into
   // replay; v2 carries its own index but sorting keeps the two file
@@ -157,6 +162,16 @@ int cmd_gen(const std::string& out, const flags& f) {
               static_cast<unsigned long long>(sc.seed),
               static_cast<unsigned long long>(orig.peak_pool_packets),
               out.c_str());
+  if (sc.fault.enabled()) {
+    std::uint64_t dropped = 0;
+    for (const auto& r : orig.trace.packets) {
+      if (r.dropped()) ++dropped;
+    }
+    std::printf("fault %s: %llu of %zu recorded packets dropped\n",
+                sc.fault.label().c_str(),
+                static_cast<unsigned long long>(dropped),
+                orig.trace.packets.size());
+  }
   return 0;
 }
 
@@ -188,7 +203,10 @@ int cmd_convert(const std::string& in, const std::string& out,
     writer.finish();
     n = writer.written();
   } else if (target == "v3") {
-    net::trace_v3_writer writer(os, declared);
+    // A streaming converter must pick the column layout before the first
+    // record; sniff the source for drops up front (O(header) for v3).
+    net::trace_v3_writer writer(os, declared, net::kTraceV3BlockRecords,
+                                net::trace_file_has_drop_records(in));
     while (const net::packet_record* r = cur->next()) writer.append(*r);
     writer.finish();
     n = writer.written();
@@ -217,8 +235,45 @@ void print_record(const net::packet_record& r) {
 // other files.
 [[nodiscard]] std::uint64_t v2_record_bytes(const net::packet_record& r) {
   return 4 + net::kTraceV2FixedPayloadBytes + 4 * r.path.size() +
-         8 * r.hop_departs.size() + 8;
+         8 * r.hop_departs.size() +
+         (r.dropped() ? net::kTraceV2DropSuffixBytes : 0) + 8;
 }
+
+// Drop tallies accumulated during an integrity walk. A wire drop keys on
+// the "from->to" hop pair whose link lost the packet; a buffer drop keys on
+// the node whose queue evicted it.
+struct drop_tally {
+  std::uint64_t dropped = 0;
+  std::uint64_t wire = 0;
+  std::map<std::string, std::uint64_t> by_link;
+
+  void add(const net::packet_record& r) {
+    if (!r.dropped()) return;
+    ++dropped;
+    const auto h = static_cast<std::size_t>(r.drop_hop);
+    char key[48];
+    if (r.dropped_kind == net::drop_kind::wire && h + 1 < r.path.size()) {
+      ++wire;
+      std::snprintf(key, sizeof(key), "%d->%d", r.path[h], r.path[h + 1]);
+    } else {
+      std::snprintf(key, sizeof(key), "buf@%d", r.path[h]);
+    }
+    ++by_link[key];
+  }
+
+  void print(std::size_t records) const {
+    if (dropped == 0) return;
+    std::printf("drops: %llu of %zu records (%llu wire, %llu buffer)\n",
+                static_cast<unsigned long long>(dropped), records,
+                static_cast<unsigned long long>(wire),
+                static_cast<unsigned long long>(dropped - wire));
+    std::printf("per-link drop histogram:\n");
+    for (const auto& [link, n] : by_link) {
+      std::printf("  %-12s %llu\n", link.c_str(),
+                  static_cast<unsigned long long>(n));
+    }
+  }
+};
 
 int cmd_inspect_v3(const std::string& path, std::size_t show) {
   net::trace_v3_cursor cur(path);
@@ -263,11 +318,12 @@ int cmd_inspect_v3(const std::string& path, std::size_t show) {
     }
     std::printf("\n");
     // Per-column payload bytes, read off the block headers.
-    std::uint64_t col[net::kTraceV3ColumnCount] = {};
+    const std::uint32_t ncols = cur.column_count();
+    std::uint64_t col[net::kTraceV3MaxColumnCount] = {};
     std::uint64_t payload = 0;
     for (std::uint64_t b = 0; b < blocks; ++b) {
       const auto cb = cur.column_bytes_at(b);
-      for (std::size_t c = 0; c < net::kTraceV3ColumnCount; ++c) {
+      for (std::size_t c = 0; c < ncols; ++c) {
         col[c] += cb[c];
         payload += cb[c];
       }
@@ -275,7 +331,7 @@ int cmd_inspect_v3(const std::string& path, std::size_t show) {
     std::printf("columns (%llu payload bytes, %.2f B/record):\n",
                 static_cast<unsigned long long>(payload),
                 static_cast<double>(payload) / static_cast<double>(n));
-    for (std::size_t c = 0; c < net::kTraceV3ColumnCount; ++c) {
+    for (std::size_t c = 0; c < ncols; ++c) {
       std::printf("  %-8s %10llu B  %6.2f B/record\n",
                   net::kTraceV3ColumnNames[c],
                   static_cast<unsigned long long>(col[c]),
@@ -283,14 +339,19 @@ int cmd_inspect_v3(const std::string& path, std::size_t show) {
     }
     std::printf("overhead: %zu B header+index, %llu B block headers\n",
                 static_cast<std::size_t>(cur.bounds_at(0).offset),
-                static_cast<unsigned long long>(80ull * blocks));
+                static_cast<unsigned long long>(
+                    static_cast<std::uint64_t>(
+                        net::trace_v3_block_header_bytes(ncols)) *
+                    blocks));
   }
   // Integrity walk: decode every block through the same per-column loops
   // replay uses, accumulating what the identical trace costs in v2.
   std::uint64_t v2_bytes = net::kTraceV2HeaderBytes;
   std::size_t shown = 0;
+  drop_tally drops;
   while (const net::packet_record* r = cur.next()) {
     v2_bytes += v2_record_bytes(*r);
+    drops.add(*r);
     if (shown++ >= show) continue;
     print_record(*r);
   }
@@ -302,6 +363,7 @@ int cmd_inspect_v3(const std::string& path, std::size_t show) {
                 static_cast<double>(cur.file_size()) /
                     static_cast<double>(v2_bytes));
   }
+  drops.print(cur.read());
   std::printf("integrity: all %zu records decode cleanly, blocks in "
               "ingress order\n",
               cur.read());
@@ -333,7 +395,9 @@ int cmd_inspect(const std::string& path, const flags& f) {
     // Integrity walk: decode every record through the ingress index, which
     // exercises the same bounds and order checks replay would hit.
     std::size_t shown = 0;
+    drop_tally drops;
     while (const net::packet_record* r = cur.next()) {
+      drops.add(*r);
       if (shown++ >= show) continue;
       std::printf("  id=%llu flow=%llu size=%u i=%lld o=%lld hops=%zu\n",
                   static_cast<unsigned long long>(r->id),
@@ -341,6 +405,7 @@ int cmd_inspect(const std::string& path, const flags& f) {
                   static_cast<long long>(r->ingress_time),
                   static_cast<long long>(r->egress_time), r->path.size());
     }
+    drops.print(cur.read());
     std::printf("integrity: all %zu records decode cleanly, index in "
                 "ingress order\n",
                 cur.read());
@@ -350,9 +415,11 @@ int cmd_inspect(const std::string& path, const flags& f) {
                 path.c_str(), reader.size_hint());
     std::size_t shown = 0;
     sim::time_ps first = -1, last = -1;
+    drop_tally drops;
     while (const net::packet_record* r = reader.next()) {
       if (first < 0) first = r->ingress_time;
       last = r->ingress_time;
+      drops.add(*r);
       if (shown++ >= show) continue;
       std::printf("  id=%llu flow=%llu size=%u i=%lld o=%lld hops=%zu\n",
                   static_cast<unsigned long long>(r->id),
@@ -360,6 +427,7 @@ int cmd_inspect(const std::string& path, const flags& f) {
                   static_cast<long long>(r->ingress_time),
                   static_cast<long long>(r->egress_time), r->path.size());
     }
+    drops.print(reader.read());
     std::printf("ingress span (file order): %lld .. %lld ps, %zu records "
                 "parsed\n",
                 static_cast<long long>(first), static_cast<long long>(last),
@@ -377,6 +445,16 @@ int cmd_replay(const std::string& path, const flags& f,
   exp::disk_shard_task task;
   task.trace_path = path;
   task.topology = exp::make_topology(parse_topo(f.get("topo", "")));
+  // Replay never runs a fault process (the drop schedule is in the trace),
+  // but a trace recorded under jam speedup was recorded on faster core
+  // links — --fault re-applies that rate compensation.
+  const net::fault_spec fault = net::fault_spec::parse(f.get("fault", ""));
+  if (fault.kind == net::fault_kind::jam && fault.jam_speedup > 1.0) {
+    for (auto& l : task.topology.core_links) {
+      l.rate = static_cast<sim::bits_per_sec>(static_cast<double>(l.rate) *
+                                              fault.jam_speedup);
+    }
+  }
   task.threshold_T =
       sim::transmission_time(1500, task.topology.bottleneck_rate());
   const std::string one_mode = f.get("mode", "");
@@ -410,10 +488,12 @@ int cmd_replay(const std::string& path, const flags& f,
   // runs — that is the identity check CI performs.
   std::uint64_t total = 0;
   for (const exp::shard_replay& r : rep.disk_replays) {
-    std::printf("  mode=%-12s total=%llu overdue=%.6f overdue_T=%.6f\n",
+    std::printf("  mode=%-12s total=%llu overdue=%.6f overdue_T=%.6f "
+                "dropped=%llu\n",
                 core::to_string(r.mode),
                 static_cast<unsigned long long>(r.result.total),
-                r.result.frac_overdue(), r.result.frac_overdue_beyond_T());
+                r.result.frac_overdue(), r.result.frac_overdue_beyond_T(),
+                static_cast<unsigned long long>(r.result.dropped));
     total += r.result.total;
   }
   for (const auto& wf : rep.worker_failures) {
