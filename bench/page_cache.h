@@ -1,0 +1,34 @@
+// Page-cache eviction shared by the cold-ingest bench lanes: flush a
+// file's dirty pages, then POSIX_FADV_DONTNEED its cached pages, so the
+// next open measures disk-lane ingest — the regime the v3 block format
+// targets — rather than a warm-cache re-decode. Header-only; bench
+// binaries include it directly.
+#pragma once
+
+#include <string>
+
+#if defined(__unix__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace ups::bench {
+
+// Returns false where the advice is unavailable (non-unix, or the fadvise
+// call is refused); cold lanes then report SKIPPED instead of measuring a
+// warm drain under a cold label.
+[[nodiscard]] inline bool drop_page_cache(const std::string& path) {
+#if defined(__unix__) && defined(POSIX_FADV_DONTNEED)
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  ::fsync(fd);
+  const bool ok = ::posix_fadvise(fd, 0, 0, POSIX_FADV_DONTNEED) == 0;
+  ::close(fd);
+  return ok;
+#else
+  (void)path;
+  return false;
+#endif
+}
+
+}  // namespace ups::bench

@@ -1,36 +1,14 @@
 #include "core/replay_codec.h"
 
+#include "core/varint.h"
+
 namespace ups::core {
 namespace {
 
-[[nodiscard]] constexpr std::uint64_t zigzag(std::int64_t v) noexcept {
-  return (static_cast<std::uint64_t>(v) << 1) ^
-         static_cast<std::uint64_t>(v >> 63);
-}
-
-[[nodiscard]] constexpr std::int64_t unzigzag(std::uint64_t v) noexcept {
-  return static_cast<std::int64_t>(v >> 1) ^
-         -static_cast<std::int64_t>(v & 1);
-}
-
-void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  while (v >= 0x80) {
-    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
-    v >>= 7;
-  }
-  out.push_back(static_cast<std::uint8_t>(v));
-}
-
+// The shared scalar decoder, bound to this codec's typed error.
 [[nodiscard]] std::uint64_t get_varint(const std::uint8_t*& p,
                                        const std::uint8_t* end) {
-  std::uint64_t v = 0;
-  for (unsigned shift = 0; shift < 64; shift += 7) {
-    if (p == end) throw codec_error("replay_result codec: truncated varint");
-    const std::uint8_t b = *p++;
-    v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
-    if ((b & 0x80) == 0) return v;
-  }
-  throw codec_error("replay_result codec: varint exceeds 64 bits");
+  return get_varint_checked<codec_error>(p, end, "replay_result codec");
 }
 
 }  // namespace

@@ -1,0 +1,84 @@
+// Bounded lock-free single-producer/single-consumer ring buffer.
+//
+// One thread calls try_push, one (other) thread calls try_pop; no mutex,
+// no CAS — each side owns its own index and publishes it with a release
+// store the other side acquires. Indices are free-running 64-bit counters
+// (masked on access), so full/empty never degenerate into the classic
+// one-slot-wasted ambiguity: the ring holds exactly `capacity()` elements
+// when full. Each side keeps a cached copy of the other's index and only
+// re-reads the shared atomic when the cache says the ring looks full or
+// empty, which keeps the fast path free of cross-core cache-line traffic.
+//
+// This is the decoded-block conveyor of the v3 decode-ahead pipeline (one
+// decoder thread feeding the replay loop), but it is deliberately generic:
+// any T with move assignment works.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ups::core {
+
+template <typename T>
+class spsc_ring {
+ public:
+  // Capacity rounds up to a power of two so index masking is one AND.
+  explicit spsc_ring(std::size_t min_capacity) {
+    std::size_t cap = 1;
+    while (cap < min_capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  spsc_ring(const spsc_ring&) = delete;
+  spsc_ring& operator=(const spsc_ring&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  // Producer side. False when the ring is full; the element is untouched.
+  [[nodiscard]] bool try_push(T v) {
+    const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+    if (t - cached_head_ == capacity()) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (t - cached_head_ == capacity()) return false;
+    }
+    slots_[t & mask_] = std::move(v);
+    tail_.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. False when the ring is empty; `out` is untouched.
+  [[nodiscard]] bool try_pop(T& out) {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    if (h == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (h == cached_tail_) return false;
+    }
+    out = std::move(slots_[h & mask_]);
+    head_.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Approximate from a third thread; exact when the queried side is idle.
+  [[nodiscard]] std::size_t size() const noexcept {
+    return static_cast<std::size_t>(tail_.load(std::memory_order_acquire) -
+                                    head_.load(std::memory_order_acquire));
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  // Producer and consumer indices live on their own cache lines; the
+  // cached mirrors are single-thread private but padded the same way so
+  // neither shares a line with the hot atomics.
+  alignas(64) std::atomic<std::uint64_t> head_{0};  // next pop position
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  // next push position
+  alignas(64) std::uint64_t cached_head_ = 0;  // producer's view of head_
+  alignas(64) std::uint64_t cached_tail_ = 0;  // consumer's view of tail_
+};
+
+}  // namespace ups::core

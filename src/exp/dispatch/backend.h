@@ -17,13 +17,10 @@
 // job writes a pre-assigned slot, so output never depends on scheduling,
 // worker count, or which worker (re)ran a job after a failure. The report
 // carries a per-job status enum — a failing job marks its own slot and the
-// rest of the plan still runs to completion, unlike the old
-// first-exception-wins run_sharded abandonment.
-//
-// The legacy entry points (exp::run_sharded, run_sharded_disk) survive as
-// thin deprecated wrappers in exp/replay_shard_runner.h. An ssh/container
-// launcher later becomes just another spawn function behind this same
-// interface.
+// rest of the plan still runs to completion (callers that want the old
+// first-exception-wins contract call run_report::throw_if_failed). An
+// ssh/container launcher later becomes just another spawn function behind
+// this same interface.
 #pragma once
 
 #include <chrono>
@@ -74,7 +71,6 @@ struct shard_result {
 };
 
 struct shard_options {
-  std::size_t threads = 0;  // legacy wrappers only; backend_spec owns width
   bool keep_outcomes = false;
   core::injection_mode injection = core::injection_mode::streaming;
 };
@@ -124,7 +120,7 @@ struct backend_spec {
 struct job_plan {
   std::vector<shard_task> tasks;
   std::optional<disk_shard_task> disk;
-  shard_options options;  // keep_outcomes + injection (threads is ignored)
+  shard_options options;  // keep_outcomes + injection
 
   [[nodiscard]] std::size_t job_count() const {
     return disk ? disk->modes.size() : tasks.size();

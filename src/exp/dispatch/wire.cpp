@@ -8,25 +8,16 @@
 #include <unistd.h>
 #endif
 
+#include "core/varint.h"
+
 namespace ups::exp::dispatch {
 
 void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  while (v >= 0x80) {
-    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
-    v >>= 7;
-  }
-  out.push_back(static_cast<std::uint8_t>(v));
+  core::put_varint(out, v);
 }
 
 std::uint64_t get_varint(const std::uint8_t*& p, const std::uint8_t* end) {
-  std::uint64_t v = 0;
-  for (unsigned shift = 0; shift < 64; shift += 7) {
-    if (p == end) throw wire_error("truncated varint in frame payload");
-    const std::uint8_t b = *p++;
-    v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
-    if ((b & 0x80) == 0) return v;
-  }
-  throw wire_error("varint exceeds 64 bits in frame payload");
+  return core::get_varint_checked<wire_error>(p, end, "frame payload");
 }
 
 void put_f64(std::vector<std::uint8_t>& out, double v) {

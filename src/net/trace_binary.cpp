@@ -1,10 +1,15 @@
 #include "net/trace_binary.h"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cstring>
 #include <fstream>
 #include <ostream>
+#include <thread>
+
+#include "core/spsc_ring.h"
+#include "core/varint.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <fcntl.h>
@@ -91,6 +96,13 @@ file_image map_trace_file(const std::string& path, trace_access access) {
   (void)::madvise(map, size,
                   access == trace_access::random ? MADV_RANDOM
                                                  : MADV_SEQUENTIAL);
+#endif
+#if defined(MADV_WILLNEED)
+  // Front-to-back consumers want the whole file; start the fetch now so
+  // the first blocks stream in behind the header/index validation pass.
+  if (access != trace_access::random) {
+    (void)::madvise(map, size, MADV_WILLNEED);
+  }
 #endif
   img.mapping = map;
   img.mapping_size = size;
@@ -247,13 +259,19 @@ header_fields check_header(const std::uint8_t* data, std::size_t size) {
 
 // --- v3 primitives -----------------------------------------------------------
 
-[[nodiscard]] constexpr std::uint64_t zigzag(std::int64_t v) noexcept {
-  return (static_cast<std::uint64_t>(v) << 1) ^
-         static_cast<std::uint64_t>(v >> 63);
-}
+// LEB128 + zigzag come from the shared core implementation; the decoders
+// below go through core::get_varints — the SWAR batch path with the
+// bounds-checked scalar loop as reference tail — bound to this format's
+// typed error.
+using core::put_varint;
+using core::unzigzag;
+using core::zigzag;
 
-[[nodiscard]] constexpr std::int64_t unzigzag(std::uint64_t v) noexcept {
-  return static_cast<std::int64_t>((v >> 1) ^ (0 - (v & 1)));
+// Decodes exactly `count` varints of column `what` into `out`.
+inline void get_column(const std::uint8_t*& p, const std::uint8_t* end,
+                       std::uint64_t* out, std::size_t count,
+                       const char* what) {
+  core::get_varints<trace_format_error>(p, end, out, count, what);
 }
 
 // Wrapping u64 difference cast to signed: round-trips every (a, b) pair
@@ -270,72 +288,6 @@ header_fields check_header(const std::uint8_t* data, std::size_t size) {
                                               std::int64_t delta) noexcept {
   return static_cast<std::int64_t>(static_cast<std::uint64_t>(base) +
                                    static_cast<std::uint64_t>(delta));
-}
-
-void put_varint(std::vector<std::uint8_t>& buf, std::uint64_t v) {
-  while (v >= 0x80) {
-    buf.push_back(static_cast<std::uint8_t>(v) | 0x80);
-    v >>= 7;
-  }
-  buf.push_back(static_cast<std::uint8_t>(v));
-}
-
-// LEB128 decode bounded by the column end. Truncation mid-value and
-// overlong (> 64 payload bits) encodings both throw — a corrupt column can
-// fail loudly but never reads past `end`.
-[[nodiscard]] std::uint64_t get_varint_slow(const std::uint8_t*& p,
-                                            const std::uint8_t* end) {
-  std::uint64_t v = 0;
-  unsigned shift = 0;
-  for (;;) {
-    if (p == end) {
-      throw trace_format_error("trace v3: varint truncated at column end");
-    }
-    const std::uint8_t b = *p++;
-    if (shift == 63 && b > 1) {
-      throw trace_format_error("trace v3: varint overflows 64 bits");
-    }
-    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
-    if ((b & 0x80) == 0) return v;
-    shift += 7;
-    if (shift >= 64) {
-      throw trace_format_error("trace v3: varint overflows 64 bits");
-    }
-  }
-}
-
-// Hot-path decode: when at least 10 readable bytes remain (a 64-bit LEB128
-// is at most 10 bytes) the per-byte end checks vanish; single-byte values —
-// the overwhelming majority after delta encoding — return after one branch.
-// The tail of a column falls back to the bounds-checked loop above.
-// Force-inlined: each block decode issues 14 of these per record, and an
-// out-of-line call per varint costs more than the decode itself.
-#if defined(__GNUC__) || defined(__clang__)
-__attribute__((always_inline))
-#endif
-[[nodiscard]] inline std::uint64_t get_varint(const std::uint8_t*& p,
-                                              const std::uint8_t* end) {
-  if (end - p < 10) [[unlikely]] {
-    return get_varint_slow(p, end);
-  }
-  std::uint64_t b = *p++;
-  if ((b & 0x80) == 0) [[likely]] {
-    return b;
-  }
-  std::uint64_t v = b & 0x7f;
-  unsigned shift = 7;
-  for (;;) {
-    b = *p++;
-    if (shift == 63 && b > 1) {
-      throw trace_format_error("trace v3: varint overflows 64 bits");
-    }
-    v |= (b & 0x7f) << shift;
-    if ((b & 0x80) == 0) return v;
-    shift += 7;
-    if (shift >= 64) {
-      throw trace_format_error("trace v3: varint overflows 64 bits");
-    }
-  }
 }
 
 [[nodiscard]] std::uint32_t narrow_u32(std::uint64_t v, const char* what) {
@@ -910,6 +862,9 @@ trace_v3_cursor::trace_v3_cursor(const std::string& path,
   data_ = mapping_ != nullptr ? img.data : owned_bytes_.data();
   size_ = img.size;
   validate_header_and_index();
+  if (access == trace_access::decode_ahead) {
+    pipe_ = std::make_unique<pipeline>();
+  }
 }
 
 trace_v3_cursor::trace_v3_cursor(const std::uint8_t* data, std::size_t size)
@@ -918,6 +873,7 @@ trace_v3_cursor::trace_v3_cursor(const std::uint8_t* data, std::size_t size)
 }
 
 trace_v3_cursor::~trace_v3_cursor() {
+  stop_pipeline();
 #if UPS_TRACE_HAVE_MMAP
   if (mapping_ != nullptr) ::munmap(mapping_, mapping_size_);
 #endif
@@ -998,7 +954,8 @@ trace_v3_cursor::column_bytes_at(std::uint64_t b) const {
 }
 
 
-void trace_v3_cursor::load_block(std::uint64_t b) {
+void trace_v3_cursor::decode_block_into(std::uint64_t b,
+                                        v3_block_scratch& sc) const {
   const block_bounds e = bounds_at(b);
   const std::uint8_t* p = data_ + e.offset;
   const std::uint32_t n = load_le<std::uint32_t>(p);
@@ -1031,146 +988,112 @@ void trace_v3_cursor::load_block(std::uint64_t b) {
       q += col_bytes[c];
     }
   }
-  // Each column decodes in its own tight loop over a contiguous byte run;
-  // get_varint enforces the column end, and the `s != end` checks below
-  // catch columns with leftover bytes. resize() reuses capacity — after the
-  // first full block no steady-state allocation happens here.
-  ingress_.resize(n);
-  egress_.resize(n);
-  qdelay_.resize(n);
-  id_.resize(n);
-  flow_.resize(n);
-  fsize_.resize(n);
-  seq_.resize(n);
-  psize_.resize(n);
-  src_.resize(n);
-  dst_.resize(n);
-  path_pos_.resize(n + 1);
-  departs_pos_.resize(n + 1);
+  sc.block = b;
+  sc.n = n;
+  // resize() reuses capacity — after the first full block no steady-state
+  // allocation happens here.
+  sc.ingress.resize(n);
+  sc.egress.resize(n);
+  sc.qdelay.resize(n);
+  sc.id.resize(n);
+  sc.flow.resize(n);
+  sc.fsize.resize(n);
+  sc.seq.resize(n);
+  sc.psize.resize(n);
+  sc.src.resize(n);
+  sc.dst.resize(n);
+  sc.path_pos.resize(n + 1);
+  sc.departs_pos.resize(n + 1);
   if (ncols_ == kTraceV3MaxColumnCount) {
-    dropinfo_.resize(n);
-    drop_time_.resize(n);
+    sc.dropinfo.resize(n);
+    sc.drop_time.resize(n);
   }
+  // Every column decodes in two passes over the shared raw staging buffer:
+  // one batched SWAR sweep that peels the varints (core::get_varints), then
+  // one tight transform loop (prefix sums, zigzag, narrowing) the compiler
+  // can vectorize. The batch decode enforces the column end; the leftover
+  // check catches columns holding more bytes than their values consumed.
+  const auto ensure_raw = [&sc](std::size_t count) -> std::uint64_t* {
+    if (sc.raw.size() < count) sc.raw.resize(count);
+    return sc.raw.data();
+  };
+  const auto decode_col = [&](std::size_t c, std::uint64_t* out,
+                              std::size_t count) {
+    const std::uint8_t* s = col[c];
+    const std::uint8_t* send = s + col_bytes[c];
+    get_column(s, send, out, count, "trace v3");
+    if (s != send) {
+      throw trace_format_error(std::string("trace v3: ") +
+                               kTraceV3ColumnNames[c] +
+                               " column has leftover bytes");
+    }
+  };
+  std::uint64_t* raw = ensure_raw(n);
   {
-    const std::uint8_t* s = col[kColIngress];
-    const std::uint8_t* send = s + col_bytes[kColIngress];
+    decode_col(kColIngress, raw, n);
+    if (raw[0] != 0) {
+      throw trace_format_error("trace v3: first ingress delta must be zero");
+    }
     std::uint64_t cum = static_cast<std::uint64_t>(base);
+    sim::time_ps prev = INT64_MIN;
     for (std::uint32_t i = 0; i < n; ++i) {
-      const std::uint64_t d = get_varint(s, send);
-      cum += d;
+      cum += raw[i];
       const sim::time_ps t = static_cast<sim::time_ps>(cum);
-      if (i == 0) {
-        if (d != 0) {
-          throw trace_format_error(
-              "trace v3: first ingress delta must be zero");
-        }
-      } else if (t < ingress_[i - 1]) {
+      if (i != 0 && t < prev) {
         throw trace_format_error(
             "trace v3: ingress not monotone within a block");
       }
-      ingress_[i] = t;
+      sc.ingress[i] = t;
+      prev = t;
     }
-    if (s != send) {
-      throw trace_format_error("trace v3: ingress column has leftover bytes");
-    }
-    if (ingress_[n - 1] != bmax) {
+    if (sc.ingress[n - 1] != bmax) {
       throw trace_format_error(
           "trace v3: last ingress disagrees with the block bound");
     }
   }
-  {
-    const std::uint8_t* s = col[kColEgress];
-    const std::uint8_t* send = s + col_bytes[kColEgress];
-    for (std::uint32_t i = 0; i < n; ++i) {
-      egress_[i] = wrap_add(ingress_[i], unzigzag(get_varint(s, send)));
-    }
-    if (s != send) {
-      throw trace_format_error("trace v3: egress column has leftover bytes");
-    }
+  decode_col(kColEgress, raw, n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    sc.egress[i] = wrap_add(sc.ingress[i], unzigzag(raw[i]));
   }
+  decode_col(kColId, raw, n);
   {
-    const std::uint8_t* s = col[kColId];
-    const std::uint8_t* send = s + col_bytes[kColId];
     std::uint64_t cum = 0;
     for (std::uint32_t i = 0; i < n; ++i) {
-      cum += static_cast<std::uint64_t>(unzigzag(get_varint(s, send)));
-      id_[i] = cum;
-    }
-    if (s != send) {
-      throw trace_format_error("trace v3: id column has leftover bytes");
+      cum += static_cast<std::uint64_t>(unzigzag(raw[i]));
+      sc.id[i] = cum;
     }
   }
+  decode_col(kColFlow, raw, n);
   {
-    const std::uint8_t* s = col[kColFlow];
-    const std::uint8_t* send = s + col_bytes[kColFlow];
     std::uint64_t cum = 0;
     for (std::uint32_t i = 0; i < n; ++i) {
-      cum += static_cast<std::uint64_t>(unzigzag(get_varint(s, send)));
-      flow_[i] = cum;
-    }
-    if (s != send) {
-      throw trace_format_error("trace v3: flow column has leftover bytes");
+      cum += static_cast<std::uint64_t>(unzigzag(raw[i]));
+      sc.flow[i] = cum;
     }
   }
-  {
-    const std::uint8_t* s = col[kColSeq];
-    const std::uint8_t* send = s + col_bytes[kColSeq];
-    for (std::uint32_t i = 0; i < n; ++i) {
-      seq_[i] = narrow_u32(get_varint(s, send), "seq");
-    }
-    if (s != send) {
-      throw trace_format_error("trace v3: seq column has leftover bytes");
-    }
+  decode_col(kColSeq, raw, n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    sc.seq[i] = narrow_u32(raw[i], "seq");
   }
-  {
-    const std::uint8_t* s = col[kColSize];
-    const std::uint8_t* send = s + col_bytes[kColSize];
-    for (std::uint32_t i = 0; i < n; ++i) {
-      psize_[i] = narrow_u32(get_varint(s, send), "size");
-    }
-    if (s != send) {
-      throw trace_format_error("trace v3: size column has leftover bytes");
-    }
+  decode_col(kColSize, raw, n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    sc.psize[i] = narrow_u32(raw[i], "size");
   }
-  {
-    const std::uint8_t* s = col[kColSrc];
-    const std::uint8_t* send = s + col_bytes[kColSrc];
-    for (std::uint32_t i = 0; i < n; ++i) {
-      src_[i] = narrow_node(unzigzag(get_varint(s, send)), "src");
-    }
-    if (s != send) {
-      throw trace_format_error("trace v3: src column has leftover bytes");
-    }
+  decode_col(kColSrc, raw, n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    sc.src[i] = narrow_node(unzigzag(raw[i]), "src");
   }
-  {
-    const std::uint8_t* s = col[kColDst];
-    const std::uint8_t* send = s + col_bytes[kColDst];
-    for (std::uint32_t i = 0; i < n; ++i) {
-      dst_[i] = narrow_node(unzigzag(get_varint(s, send)), "dst");
-    }
-    if (s != send) {
-      throw trace_format_error("trace v3: dst column has leftover bytes");
-    }
+  decode_col(kColDst, raw, n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    sc.dst[i] = narrow_node(unzigzag(raw[i]), "dst");
   }
-  {
-    const std::uint8_t* s = col[kColQdelay];
-    const std::uint8_t* send = s + col_bytes[kColQdelay];
-    for (std::uint32_t i = 0; i < n; ++i) {
-      qdelay_[i] = unzigzag(get_varint(s, send));
-    }
-    if (s != send) {
-      throw trace_format_error("trace v3: qdelay column has leftover bytes");
-    }
+  decode_col(kColQdelay, raw, n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    sc.qdelay[i] = unzigzag(raw[i]);
   }
-  {
-    const std::uint8_t* s = col[kColFlowSize];
-    const std::uint8_t* send = s + col_bytes[kColFlowSize];
-    for (std::uint32_t i = 0; i < n; ++i) {
-      fsize_[i] = get_varint(s, send);
-    }
-    if (s != send) {
-      throw trace_format_error("trace v3: flowsz column has leftover bytes");
-    }
+  decode_col(kColFlowSize, raw, n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    sc.fsize[i] = raw[i];
   }
   // Length columns bound the data columns before anything is sized: every
   // element needs at least one byte, so a corrupt length claiming more
@@ -1182,31 +1105,26 @@ void trace_v3_cursor::load_block(std::uint64_t b) {
     // Hop-free traces (the default recording mode) store n zero plens and
     // an empty path column; one vectorized scan replaces n varint decodes.
     if (col_bytes[kColPath] == 0 && col_bytes[kColPathLen] == n &&
-        std::all_of(s, send, [](std::uint8_t b) { return b == 0; })) {
-      std::fill(path_pos_.begin(), path_pos_.end(), 0u);
-      path_flat_.clear();
+        std::all_of(s, send, [](std::uint8_t v) { return v == 0; })) {
+      std::fill(sc.path_pos.begin(), sc.path_pos.end(), 0u);
+      sc.path_flat.clear();
     } else {
+      decode_col(kColPathLen, raw, n);
       std::uint64_t tot = 0;
-      path_pos_[0] = 0;
+      sc.path_pos[0] = 0;
       for (std::uint32_t i = 0; i < n; ++i) {
-        tot += get_varint(s, send);
+        tot += raw[i];
         if (tot > col_bytes[kColPath]) {
           throw trace_format_error(
               "trace v3: path lengths exceed the path column");
         }
-        path_pos_[i + 1] = static_cast<std::uint32_t>(tot);
+        sc.path_pos[i + 1] = static_cast<std::uint32_t>(tot);
       }
-      if (s != send) {
-        throw trace_format_error("trace v3: plen column has leftover bytes");
-      }
-      path_flat_.resize(static_cast<std::size_t>(tot));
-      const std::uint8_t* ps = col[kColPath];
-      const std::uint8_t* pend = ps + col_bytes[kColPath];
-      for (std::size_t k = 0; k < path_flat_.size(); ++k) {
-        path_flat_[k] = narrow_node(unzigzag(get_varint(ps, pend)), "hop");
-      }
-      if (ps != pend) {
-        throw trace_format_error("trace v3: path column has leftover bytes");
+      sc.path_flat.resize(static_cast<std::size_t>(tot));
+      raw = ensure_raw(static_cast<std::size_t>(tot));
+      decode_col(kColPath, raw, static_cast<std::size_t>(tot));
+      for (std::size_t k = 0; k < sc.path_flat.size(); ++k) {
+        sc.path_flat[k] = narrow_node(unzigzag(raw[k]), "hop");
       }
     }
   }
@@ -1214,102 +1132,75 @@ void trace_v3_cursor::load_block(std::uint64_t b) {
     const std::uint8_t* s = col[kColDepartsLen];
     const std::uint8_t* send = s + col_bytes[kColDepartsLen];
     if (col_bytes[kColDeparts] == 0 && col_bytes[kColDepartsLen] == n &&
-        std::all_of(s, send, [](std::uint8_t b) { return b == 0; })) {
-      std::fill(departs_pos_.begin(), departs_pos_.end(), 0u);
-      departs_flat_.clear();
+        std::all_of(s, send, [](std::uint8_t v) { return v == 0; })) {
+      std::fill(sc.departs_pos.begin(), sc.departs_pos.end(), 0u);
+      sc.departs_flat.clear();
     } else {
+      decode_col(kColDepartsLen, raw, n);
       std::uint64_t tot = 0;
-      departs_pos_[0] = 0;
+      sc.departs_pos[0] = 0;
       for (std::uint32_t i = 0; i < n; ++i) {
-        tot += get_varint(s, send);
+        tot += raw[i];
         if (tot > col_bytes[kColDeparts]) {
           throw trace_format_error(
               "trace v3: departs lengths exceed the departs column");
         }
-        departs_pos_[i + 1] = static_cast<std::uint32_t>(tot);
+        sc.departs_pos[i + 1] = static_cast<std::uint32_t>(tot);
       }
-      if (s != send) {
-        throw trace_format_error("trace v3: dlen column has leftover bytes");
-      }
-      departs_flat_.resize(static_cast<std::size_t>(tot));
-      const std::uint8_t* ds = col[kColDeparts];
-      const std::uint8_t* dend = ds + col_bytes[kColDeparts];
+      sc.departs_flat.resize(static_cast<std::size_t>(tot));
+      raw = ensure_raw(static_cast<std::size_t>(tot));
+      decode_col(kColDeparts, raw, static_cast<std::size_t>(tot));
+      // Each record's departs are a delta chain seeded from its ingress.
       for (std::uint32_t i = 0; i < n; ++i) {
-        sim::time_ps prev = ingress_[i];
-        for (std::uint32_t j = departs_pos_[i]; j < departs_pos_[i + 1];
+        sim::time_ps prev = sc.ingress[i];
+        for (std::uint32_t j = sc.departs_pos[i]; j < sc.departs_pos[i + 1];
              ++j) {
-          prev = wrap_add(prev, unzigzag(get_varint(ds, dend)));
-          departs_flat_[j] = prev;
+          prev = wrap_add(prev, unzigzag(raw[j]));
+          sc.departs_flat[j] = prev;
         }
-      }
-      if (ds != dend) {
-        throw trace_format_error(
-            "trace v3: departs column has leftover bytes");
       }
     }
   }
   if (ncols_ == kTraceV3MaxColumnCount) {
-    {
-      const std::uint8_t* s = col[kColDropInfo];
-      const std::uint8_t* send = s + col_bytes[kColDropInfo];
-      for (std::uint32_t i = 0; i < n; ++i) {
-        dropinfo_[i] = narrow_u32(get_varint(s, send), "dropinfo");
-      }
-      if (s != send) {
-        throw trace_format_error(
-            "trace v3: dropinfo column has leftover bytes");
-      }
+    decode_col(kColDropInfo, raw, n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      sc.dropinfo[i] = narrow_u32(raw[i], "dropinfo");
     }
-    {
-      const std::uint8_t* s = col[kColDropTime];
-      const std::uint8_t* send = s + col_bytes[kColDropTime];
-      for (std::uint32_t i = 0; i < n; ++i) {
-        drop_time_[i] = wrap_add(ingress_[i], unzigzag(get_varint(s, send)));
-      }
-      if (s != send) {
-        throw trace_format_error("trace v3: dtime column has leftover bytes");
-      }
+    decode_col(kColDropTime, raw, n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      sc.drop_time[i] = wrap_add(sc.ingress[i], unzigzag(raw[i]));
     }
   }
   // Assemble the whole block once; next()/next_run() then serve pointers
-  // into records_ with no per-record copying. Never shrink records_ — the
+  // into the records with no per-record copying. Never shrink records — the
   // final short block would otherwise destroy warmed slot capacities and a
   // post-seek re-drain would have to reallocate them.
-  if (records_.size() < n) records_.resize(n);
-  for (std::uint32_t i = 0; i < n; ++i) assemble(i, records_[i]);
-  block_n_ = n;
-  block_pos_ = 0;
+  if (sc.records.size() < n) sc.records.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) assemble(sc, i, sc.records[i]);
 }
 
-bool trace_v3_cursor::ensure_block() {
-  if (block_pos_ < block_n_) return true;
-  if (next_block_ >= block_count_) return false;
-  load_block(next_block_);
-  cur_block_ = next_block_++;
-  return true;
-}
-
-void trace_v3_cursor::assemble(std::uint32_t i, packet_record& r) const {
-  r.id = id_[i];
-  r.flow_id = flow_[i];
-  r.seq_in_flow = seq_[i];
-  r.size_bytes = psize_[i];
-  r.src_host = src_[i];
-  r.dst_host = dst_[i];
-  r.ingress_time = ingress_[i];
-  r.egress_time = egress_[i];
-  r.queueing_delay = qdelay_[i];
-  r.flow_size_bytes = fsize_[i];
+void trace_v3_cursor::assemble(const v3_block_scratch& sc, std::uint32_t i,
+                               packet_record& r) const {
+  r.id = sc.id[i];
+  r.flow_id = sc.flow[i];
+  r.seq_in_flow = sc.seq[i];
+  r.size_bytes = sc.psize[i];
+  r.src_host = sc.src[i];
+  r.dst_host = sc.dst[i];
+  r.ingress_time = sc.ingress[i];
+  r.egress_time = sc.egress[i];
+  r.queueing_delay = sc.qdelay[i];
+  r.flow_size_bytes = sc.fsize[i];
   // assign() reuses the slot's vector capacity — no steady-state allocation.
-  r.path.assign(path_flat_.begin() + path_pos_[i],
-                path_flat_.begin() + path_pos_[i + 1]);
-  r.hop_departs.assign(departs_flat_.begin() + departs_pos_[i],
-                       departs_flat_.begin() + departs_pos_[i + 1]);
+  r.path.assign(sc.path_flat.begin() + sc.path_pos[i],
+                sc.path_flat.begin() + sc.path_pos[i + 1]);
+  r.hop_departs.assign(sc.departs_flat.begin() + sc.departs_pos[i],
+                       sc.departs_flat.begin() + sc.departs_pos[i + 1]);
   r.drop_hop = -1;
   r.dropped_kind = drop_kind::buffer;
   r.drop_time = -1;
-  if (ncols_ == kTraceV3MaxColumnCount && dropinfo_[i] != 0) {
-    const std::uint32_t info = dropinfo_[i];
+  if (ncols_ == kTraceV3MaxColumnCount && sc.dropinfo[i] != 0) {
+    const std::uint32_t info = sc.dropinfo[i];
     const std::uint32_t kind = info & 3;
     const std::uint32_t hop = (info >> 2) - 1;
     if (kind > 1 || hop >= r.path.size()) {
@@ -1317,8 +1208,133 @@ void trace_v3_cursor::assemble(std::uint32_t i, packet_record& r) const {
     }
     r.drop_hop = static_cast<std::int32_t>(hop);
     r.dropped_kind = static_cast<drop_kind>(kind);
-    r.drop_time = drop_time_[i];
+    r.drop_time = sc.drop_time[i];
   }
+}
+
+// --- decode-ahead pipeline ---------------------------------------------------
+
+// One background thread decodes blocks in file order into a small scratch
+// pool; two SPSC index rings form the conveyor (`free_ring`: consumer hands
+// drained scratches back, `ready`: decoder publishes finished blocks). Both
+// rings hold at least kDepth slots, so pushes can never fail — only pops
+// wait, and they spin-yield: a pop happens once per 1024-record block, so
+// parking/futex machinery would cost more than it saves. A decode error is
+// captured into `error` and rethrown by the consumer only after the ready
+// ring drains — exactly the block where the serial decoder would have
+// thrown.
+struct trace_v3_cursor::pipeline {
+  // Deep enough that one slow block never stalls the consumer, shallow
+  // enough that decoded blocks stay cache-resident.
+  static constexpr std::uint32_t kDepth = 4;
+  std::array<v3_block_scratch, kDepth> pool;
+  core::spsc_ring<std::uint32_t> ready{kDepth};      // decoder -> consumer
+  core::spsc_ring<std::uint32_t> free_ring{kDepth};  // consumer -> decoder
+  std::atomic<bool> stop{false};
+  std::atomic<bool> done{false};
+  std::exception_ptr error;  // published before `done`, read after
+  std::thread worker;
+  std::uint32_t held = UINT32_MAX;  // pool slot the consumer is serving
+};
+
+void trace_v3_cursor::start_pipeline() {
+  pipeline& pl = *pipe_;
+  pl.stop.store(false, std::memory_order_relaxed);
+  pl.done.store(false, std::memory_order_relaxed);
+  pl.error = nullptr;
+  pl.held = UINT32_MAX;
+  // Reset the conveyor: every pool slot starts free.
+  std::uint32_t idx = 0;
+  while (pl.ready.try_pop(idx)) {
+  }
+  while (pl.free_ring.try_pop(idx)) {
+  }
+  for (std::uint32_t i = 0; i < pipeline::kDepth; ++i) {
+    (void)pl.free_ring.try_push(i);  // capacity >= kDepth: cannot fail
+  }
+  const std::uint64_t first = next_block_;
+  pl.worker = std::thread([this, first] { pipeline_main(first); });
+}
+
+void trace_v3_cursor::stop_pipeline() {
+  if (!pipe_) return;
+  pipeline& pl = *pipe_;
+  if (pl.worker.joinable()) {
+    pl.stop.store(true, std::memory_order_release);
+    pl.worker.join();
+    pl.worker = std::thread();
+  }
+  pl.held = UINT32_MAX;
+  pl.error = nullptr;
+}
+
+void trace_v3_cursor::pipeline_main(std::uint64_t first_block) noexcept {
+  pipeline& pl = *pipe_;
+  try {
+    for (std::uint64_t b = first_block; b < block_count_; ++b) {
+      std::uint32_t idx = 0;
+      while (!pl.free_ring.try_pop(idx)) {
+        if (pl.stop.load(std::memory_order_acquire)) {
+          pl.done.store(true, std::memory_order_release);
+          return;
+        }
+        std::this_thread::yield();
+      }
+      decode_block_into(b, pl.pool[idx]);
+      (void)pl.ready.try_push(idx);  // ring capacity >= pool: cannot fail
+    }
+  } catch (...) {
+    pl.error = std::current_exception();
+  }
+  pl.done.store(true, std::memory_order_release);
+}
+
+bool trace_v3_cursor::ensure_block_ahead() {
+  pipeline& pl = *pipe_;
+  if (pl.held != UINT32_MAX) {
+    // The current block is fully served: recycle its scratch.
+    (void)pl.free_ring.try_push(pl.held);
+    pl.held = UINT32_MAX;
+    blk_ = nullptr;
+    block_n_ = 0;
+    block_pos_ = 0;
+  }
+  if (next_block_ >= block_count_) return false;
+  if (!pl.worker.joinable()) start_pipeline();  // lazy / post-seek restart
+  std::uint32_t idx = 0;
+  for (;;) {
+    if (pl.ready.try_pop(idx)) break;
+    if (pl.done.load(std::memory_order_acquire)) {
+      // Drain-then-rethrow keeps error order serial: blocks decoded before
+      // the failure are served first, the throw lands on the bad block.
+      if (pl.ready.try_pop(idx)) break;
+      if (pl.error) std::rethrow_exception(pl.error);
+      return false;  // stopped without error (only a stop request does this)
+    }
+    std::this_thread::yield();
+  }
+  const v3_block_scratch& sc = pl.pool[idx];
+  if (sc.block != next_block_) {
+    throw std::logic_error("trace v3: decode-ahead block out of sequence");
+  }
+  pl.held = idx;
+  blk_ = &sc;
+  block_n_ = sc.n;
+  block_pos_ = 0;
+  cur_block_ = next_block_++;
+  return true;
+}
+
+bool trace_v3_cursor::ensure_block() {
+  if (block_pos_ < block_n_) return true;
+  if (pipe_) return ensure_block_ahead();
+  if (next_block_ >= block_count_) return false;
+  decode_block_into(next_block_, scratch_);
+  blk_ = &scratch_;
+  block_n_ = scratch_.n;
+  block_pos_ = 0;
+  cur_block_ = next_block_++;
+  return true;
 }
 
 const packet_record* trace_v3_cursor::next() {
@@ -1330,7 +1346,7 @@ const packet_record* trace_v3_cursor::next() {
     return nullptr;
   }
   ++served_;
-  return &records_[block_pos_++];
+  return &blk_->records[block_pos_++];
 }
 
 std::size_t trace_v3_cursor::next_run(
@@ -1344,31 +1360,32 @@ std::size_t trace_v3_cursor::next_run(
   }
   // Run detection is an array scan over the decoded ingress column. Almost
   // every run ends inside the current block (or the file); those are served
-  // as pointers straight into records_. Whether a block-final run continues
-  // is read off the next block's index bound — no speculative block load.
-  const sim::time_ps t = ingress_[block_pos_];
+  // as pointers straight into the block's records. Whether a block-final
+  // run continues is read off the next block's index bound — no speculative
+  // block load.
+  const sim::time_ps t = blk_->ingress[block_pos_];
   std::uint32_t j = block_pos_ + 1;
-  while (j < block_n_ && ingress_[j] == t) ++j;
+  while (j < block_n_ && blk_->ingress[j] == t) ++j;
   if (j < block_n_ || next_block_ >= block_count_ ||
       bounds_at(next_block_).min_ingress != t) {
     const std::size_t n = j - block_pos_;
     for (std::uint32_t i = block_pos_; i < j; ++i) {
-      out.push_back(&records_[i]);
+      out.push_back(&blk_->records[i]);
     }
     served_ += n;
     block_pos_ = j;
     return n;
   }
-  // The run crosses into the next block: loading it reuses the per-block
-  // arrays, so this tail is copied into slots_ instead.
+  // The run crosses into the next block: loading it reuses (or recycles)
+  // the per-block arrays, so this tail is copied into slots_ instead.
   std::size_t n = 0;
   for (;;) {
     if (n == slots_.size()) slots_.emplace_back();
-    slots_[n] = records_[block_pos_++];
+    slots_[n] = blk_->records[block_pos_++];
     ++n;
     ++served_;
     if (!ensure_block()) break;
-    if (ingress_[block_pos_] != t) break;
+    if (blk_->ingress[block_pos_] != t) break;
   }
   // Publish only after the run is fully assembled: growing slots_ mid-run
   // may reallocate and would dangle anything pushed earlier.
@@ -1384,10 +1401,14 @@ void trace_v3_cursor::seek_to_block(std::uint64_t b) {
   if (b > block_count_) {
     throw std::out_of_range("trace v3: block index out of range");
   }
+  // The decode-ahead thread races ahead on the old position; stop it and
+  // let ensure_block_ahead lazily restart from the new one.
+  stop_pipeline();
   seeked_ = true;
   served_ = 0;
   next_block_ = b;
   cur_block_ = UINT64_MAX;
+  blk_ = nullptr;
   block_n_ = 0;
   block_pos_ = 0;
 }
@@ -1407,7 +1428,9 @@ void trace_v3_cursor::seek_lower_bound(sim::time_ps t) {
   }
   seek_to_block(lo);
   if (!ensure_block()) return;  // t is past the last record
-  while (block_pos_ < block_n_ && ingress_[block_pos_] < t) ++block_pos_;
+  while (block_pos_ < block_n_ && blk_->ingress[block_pos_] < t) {
+    ++block_pos_;
+  }
 }
 
 }  // namespace ups::net

@@ -154,7 +154,16 @@ inline constexpr const char* kTraceV3ColumnNames[kTraceV3MaxColumnCount] = {
 // early reclaim), a block-seek consumer jumps via the index
 // (MADV_RANDOM — no wasted readahead). Matters once the trace exceeds page
 // cache; harmless below that.
-enum class trace_access : std::uint8_t { sequential, random };
+//
+// `decode_ahead` is `sequential` plus a background decoder: the v3 cursor
+// runs block decode on its own thread, feeding next()/next_run() through a
+// bounded lock-free ring of decoded-block scratches, so varint decode
+// overlaps the simulation loop. Record-for-record identical to the
+// synchronous cursor (including seeks, which restart the pipeline at the
+// new position, and decode errors, which surface at the block where the
+// serial decoder would have thrown). The v2 cursor treats it as
+// `sequential`.
+enum class trace_access : std::uint8_t { sequential, random, decode_ahead };
 
 // Streaming v2 writer: append records one at a time (the converter and the
 // recorder-side pipeline never hold the whole trace), then finish() writes
@@ -450,13 +459,45 @@ class trace_v3_cursor final : public trace_cursor {
   [[nodiscard]] std::size_t file_size() const noexcept { return size_; }
 
  private:
+  // Everything one block decode produces, structure-of-arrays plus the
+  // assembled records — self-contained so the synchronous cursor can own
+  // one and the decode-ahead pipeline a small pool cycled through a ring.
+  // All vector capacities persist across reuse (zero steady-state
+  // allocation once warm).
+  struct v3_block_scratch {
+    std::uint64_t block = UINT64_MAX;  // block id this scratch holds
+    std::uint32_t n = 0;               // records decoded
+    std::vector<sim::time_ps> ingress, egress, qdelay;
+    std::vector<std::uint64_t> id, flow, fsize;
+    std::vector<std::uint32_t> seq, psize;
+    std::vector<node_id> src, dst;
+    std::vector<std::uint32_t> path_pos, departs_pos;  // prefix offsets
+    std::vector<node_id> path_flat;
+    std::vector<sim::time_ps> departs_flat;
+    // Drop columns (sized only for 16-column files; empty otherwise).
+    std::vector<std::uint32_t> dropinfo;  // 0, or ((drop_hop+1)<<2)|kind
+    std::vector<sim::time_ps> drop_time;
+    // Raw batched-varint staging shared by every column of a block.
+    std::vector<std::uint64_t> raw;
+    // Assembled records, served by pointer; sized to the largest block
+    // seen and never shrunk so slot capacities persist.
+    std::vector<packet_record> records;
+  };
+  struct pipeline;  // decode-ahead state (thread + rings); in the .cpp
+
   void validate_header_and_index();
-  // Decodes block `b` into the SoA scratch. `sequential` enforces the
-  // cross-block ingress watermark (a seek resets it from the index bound).
-  void load_block(std::uint64_t b);
-  // Loads the next block if the current one is exhausted; false at end.
+  // Decodes block `b` into `sc`. Reads only immutable cursor state, so the
+  // decode-ahead thread can run it concurrently with the consumer.
+  void decode_block_into(std::uint64_t b, v3_block_scratch& sc) const;
+  void assemble(const v3_block_scratch& sc, std::uint32_t i,
+                packet_record& r) const;
+  // Makes the next block current if the present one is exhausted; false at
+  // end of file. Dispatches to the pipeline under decode_ahead.
   bool ensure_block();
-  void assemble(std::uint32_t i, packet_record& r) const;
+  bool ensure_block_ahead();
+  void start_pipeline();
+  void stop_pipeline();
+  void pipeline_main(std::uint64_t first_block) noexcept;
 
   const std::uint8_t* data_ = nullptr;
   std::size_t size_ = 0;
@@ -471,28 +512,18 @@ class trace_v3_cursor final : public trace_cursor {
   std::uint32_t records_per_block_ = 0;
   std::uint32_t ncols_ = kTraceV3ColumnCount;  // from the header
 
-  // Decoded current block (structure of arrays; capacities persist).
+  // Serving state: blk_ points at the scratch holding the current block
+  // (the cursor-owned scratch_ when synchronous, a pool slot when the
+  // pipeline runs).
+  const v3_block_scratch* blk_ = nullptr;
   std::uint64_t cur_block_ = UINT64_MAX;
   std::uint32_t block_n_ = 0;   // records in the decoded block
   std::uint32_t block_pos_ = 0; // next record within the decoded block
   std::uint64_t next_block_ = 0;
   std::uint64_t served_ = 0;
   bool seeked_ = false;
-  sim::time_ps watermark_ = INT64_MIN;  // cross-block order enforcement
-  std::vector<sim::time_ps> ingress_, egress_, qdelay_;
-  std::vector<std::uint64_t> id_, flow_, fsize_;
-  std::vector<std::uint32_t> seq_, psize_;
-  std::vector<node_id> src_, dst_;
-  std::vector<std::uint32_t> path_pos_, departs_pos_;  // prefix offsets
-  std::vector<node_id> path_flat_;
-  std::vector<sim::time_ps> departs_flat_;
-  // Drop columns (sized only for 16-column files; empty otherwise).
-  std::vector<std::uint32_t> dropinfo_;  // 0, or ((drop_hop+1)<<2)|kind
-  std::vector<sim::time_ps> drop_time_;
-
-  // Assembled records for the current block, served by pointer; sized to
-  // the largest block seen and never shrunk so slot capacities persist.
-  std::vector<packet_record> records_;
+  v3_block_scratch scratch_;  // synchronous decode target
+  std::unique_ptr<pipeline> pipe_;  // non-null iff access == decode_ahead
   std::vector<packet_record> slots_;  // copy-out storage for runs that
                                       // span a block boundary (rare)
 };

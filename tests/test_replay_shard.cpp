@@ -1,8 +1,8 @@
-// Tests for the thread lane of the dispatch fabric and the legacy sharded
-// entry points: N-thread runs must be byte-identical to the plain serial
-// loop regardless of worker count, a failing job must mark its own slot
-// without abandoning the rest of the plan, and the deprecated wrappers
-// (run_sharded, parallel_for_jobs) must keep their contracts.
+// Tests for the thread lane of the dispatch fabric: N-thread runs must be
+// byte-identical to the plain serial loop regardless of worker count, a
+// failing job must mark its own slot without abandoning the rest of the
+// plan, and the run_jobs pool primitive must cover every slot exactly once
+// with per-slot status instead of first-exception-wins abandonment.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -10,8 +10,8 @@
 #include <vector>
 
 #include "core/replay.h"
+#include "exp/dispatch/backend.h"
 #include "exp/replay_experiment.h"
-#include "exp/replay_shard_runner.h"
 #include "replay_test_util.h"
 
 namespace ups::exp {
@@ -111,10 +111,10 @@ TEST(replay_shard, worker_count_does_not_change_results) {
 
 TEST(replay_shard, thread_backend_isolates_a_failing_task) {
   // One task's mode sweep includes the omniscient replayer but its trace
-  // is recorded without hop times, so that replay throws. The old
-  // parallel_for_jobs abandoned the whole pool at the first exception;
-  // the dispatch thread backend must mark only the offending slot and
-  // finish every other task.
+  // is recorded without hop times, so that replay throws. The thread
+  // backend must mark only the offending slot and finish every other
+  // task; throw_if_failed then surfaces that slot's error for callers
+  // wanting the abort-on-failure contract.
   auto tasks = small_sweep();
   tasks[1].modes.push_back(core::replay_mode::omniscient);
   shard_options opt;
@@ -133,52 +133,48 @@ TEST(replay_shard, thread_backend_isolates_a_failing_task) {
   // The surviving slots carry complete, correct results.
   EXPECT_GT(rep.results[0].trace_packets, 0u);
   EXPECT_EQ(rep.results[2].replays.size(), tasks[2].modes.size());
-  // The legacy wrapper surfaces the same failure as an exception.
-  EXPECT_THROW((void)run_sharded(tasks, {}), std::runtime_error);
+  EXPECT_THROW(rep.throw_if_failed(), std::runtime_error);
 }
 
-TEST(replay_shard, legacy_wrapper_matches_dispatch_serial) {
-  const auto tasks = small_sweep();
-  shard_options opt;
-  opt.threads = 2;
-  opt.keep_outcomes = true;
-  const auto wrapped = run_sharded(tasks, opt);
-  dispatch::backend_spec serial_spec;
-  serial_spec.kind = dispatch::backend_kind::serial;
-  const auto ref =
-      dispatch::run(dispatch::job_plan::from_tasks(tasks, opt), serial_spec);
-  ASSERT_EQ(wrapped.size(), ref.results.size());
-  for (std::size_t i = 0; i < wrapped.size(); ++i) {
-    EXPECT_EQ(wrapped[i].trace_packets, ref.results[i].trace_packets);
-    ASSERT_EQ(wrapped[i].replays.size(), ref.results[i].replays.size());
-    for (std::size_t m = 0; m < wrapped[i].replays.size(); ++m) {
-      expect_identical_results(wrapped[i].replays[m].result,
-                               ref.results[i].replays[m].result);
+TEST(replay_shard, run_jobs_covers_every_job_exactly_once) {
+  std::vector<std::atomic<int>> hits(97);
+  const auto oc = dispatch::run_jobs(
+      hits.size(), 4, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  ASSERT_EQ(oc.status.size(), hits.size());
+  for (std::size_t i = 0; i < oc.status.size(); ++i) {
+    EXPECT_EQ(oc.status[i], dispatch::job_status::ok);
+    EXPECT_TRUE(oc.errors[i].empty());
+  }
+}
+
+TEST(replay_shard, run_jobs_records_failure_without_abandoning_pool) {
+  std::vector<std::atomic<int>> hits(64);
+  const auto oc = dispatch::run_jobs(hits.size(), 4, [&](std::size_t i) {
+    hits[i].fetch_add(1);
+    if (i == 13) throw std::runtime_error("boom");
+  });
+  // Every job still ran exactly once; only slot 13 is marked failed.
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  for (std::size_t i = 0; i < oc.status.size(); ++i) {
+    if (i == 13) {
+      EXPECT_EQ(oc.status[i], dispatch::job_status::failed);
+      EXPECT_NE(oc.errors[i].find("boom"), std::string::npos);
+    } else {
+      EXPECT_EQ(oc.status[i], dispatch::job_status::ok);
     }
   }
 }
 
-TEST(replay_shard, parallel_for_covers_every_job_exactly_once) {
-  std::vector<std::atomic<int>> hits(97);
-  parallel_for_jobs(hits.size(), 4,
-                    [&](std::size_t i) { hits[i].fetch_add(1); });
-  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
-}
-
-TEST(replay_shard, worker_exception_propagates_to_caller) {
-  EXPECT_THROW(
-      parallel_for_jobs(64, 4,
-                        [](std::size_t i) {
-                          if (i == 13) throw std::runtime_error("boom");
-                        }),
-      std::runtime_error);
-}
-
-TEST(replay_shard, zero_and_single_job_edge_cases) {
-  parallel_for_jobs(0, 4, [](std::size_t) { FAIL(); });
+TEST(replay_shard, run_jobs_zero_and_single_job_edge_cases) {
+  const auto none =
+      dispatch::run_jobs(0, 4, [](std::size_t) { FAIL() << "ran a job"; });
+  EXPECT_TRUE(none.status.empty());
   int ran = 0;
-  parallel_for_jobs(1, 4, [&](std::size_t) { ++ran; });
+  const auto one = dispatch::run_jobs(1, 4, [&](std::size_t) { ++ran; });
   EXPECT_EQ(ran, 1);
+  ASSERT_EQ(one.status.size(), 1u);
+  EXPECT_EQ(one.status[0], dispatch::job_status::ok);
 }
 
 }  // namespace

@@ -1,7 +1,7 @@
 // Tests for the v3 block-structured trace format: round trips (including
 // hand-built edge records and runs that span block boundaries), replay
 // equivalence against the v1/v2 paths both serial and through
-// run_sharded_disk, index-based seeking, and corruption robustness — every
+// the dispatch fabric, index-based seeking, and corruption robustness — every
 // mutation of a valid image must either read back cleanly or throw
 // trace_format_error, never crash or read out of bounds (the ASan/UBSan CI
 // job gives the "never UB" half teeth).
@@ -10,13 +10,14 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <sstream>
 #include <vector>
 
 #include "core/registry.h"
 #include "core/replay.h"
 #include "exp/replay_experiment.h"
-#include "exp/replay_shard_runner.h"
+#include "exp/dispatch/backend.h"
 #include "net/network.h"
 #include "net/trace.h"
 #include "net/trace_binary.h"
@@ -247,6 +248,120 @@ TEST(trace_v3, next_run_partitions_across_block_boundaries) {
   EXPECT_EQ(collect(cur), want_runs);
 }
 
+// Writes a byte image to a temp file and returns its path (decode-ahead
+// needs the file constructor: the pipeline thread is tied to the mmap).
+std::string write_temp(const std::vector<std::uint8_t>& bytes,
+                       const char* name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f.write(reinterpret_cast<const char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  f.close();
+  return path;
+}
+
+// Drains a file-backed cursor through next_run into an owned trace,
+// comparing every field the assembler writes — including the drop
+// columns, which expect_equal (built for loss-free round trips) skips.
+trace drain_file(const std::string& path, trace_access access) {
+  trace out;
+  trace_v3_cursor cur(path, access);
+  std::vector<const packet_record*> run;
+  for (;;) {
+    run.clear();
+    if (cur.next_run(run) == 0) break;
+    for (const packet_record* r : run) out.packets.push_back(*r);
+  }
+  return out;
+}
+
+void expect_equal_with_drops(const trace& a, const trace& b) {
+  expect_equal(a, b);
+  ASSERT_EQ(a.packets.size(), b.packets.size());
+  for (std::size_t i = 0; i < a.packets.size(); ++i) {
+    EXPECT_EQ(a.packets[i].drop_hop, b.packets[i].drop_hop) << i;
+    EXPECT_EQ(a.packets[i].dropped_kind, b.packets[i].dropped_kind) << i;
+    EXPECT_EQ(a.packets[i].drop_time, b.packets[i].drop_time) << i;
+  }
+}
+
+TEST(trace_v3, decode_ahead_drain_identical_to_sequential) {
+  // The decode-ahead pipeline (background decoder thread + SPSC conveyor)
+  // must be invisible: same records, same order, same values as the
+  // synchronous cursor over a multi-block file.
+  auto r = small_run(true);
+  sort_by_ingress(r.tr);
+  const auto path =
+      write_temp(to_v3_bytes_blocked(r.tr, 64), "ups_ahead.v3");
+  const trace seq = drain_file(path, trace_access::sequential);
+  const trace ahead = drain_file(path, trace_access::decode_ahead);
+  ASSERT_EQ(seq.packets.size(), r.tr.packets.size());
+  expect_equal_with_drops(seq, ahead);
+  expect_equal(r.tr, ahead);
+  std::remove(path.c_str());
+}
+
+TEST(trace_v3, decode_ahead_identical_on_drop_column_trace) {
+  // Same invariant through the widened 16-column (lossy) layout: mark a
+  // scattering of records dropped at various hops and kinds, write with
+  // the drop columns, and require byte-identical assembly both ways.
+  auto r = small_run(true);
+  sort_by_ingress(r.tr);
+  for (std::size_t i = 0; i < r.tr.packets.size(); i += 7) {
+    auto& p = r.tr.packets[i];
+    if (p.path.empty()) continue;
+    p.drop_hop = static_cast<std::int32_t>(i % p.path.size());
+    p.dropped_kind = (i % 2) ? drop_kind::wire : drop_kind::buffer;
+    p.drop_time = p.ingress_time + static_cast<sim::time_ps>(i);
+  }
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  trace_v3_writer w(ss, r.tr.packets.size(), 64, /*with_drops=*/true);
+  for (const auto& p : r.tr.packets) w.append(p);
+  w.finish();
+  const std::string s = ss.str();
+  const auto path = write_temp({s.begin(), s.end()}, "ups_ahead_drops.v3");
+  const trace seq = drain_file(path, trace_access::sequential);
+  const trace ahead = drain_file(path, trace_access::decode_ahead);
+  expect_equal_with_drops(seq, ahead);
+  expect_equal_with_drops(r.tr, ahead);
+  std::remove(path.c_str());
+}
+
+TEST(trace_v3, decode_ahead_survives_mid_file_seeks) {
+  // Seeking must tear the pipeline down and restart it cleanly: after each
+  // seek_lower_bound the decode-ahead cursor yields exactly the records
+  // the synchronous cursor yields.
+  auto r = small_run(false);
+  sort_by_ingress(r.tr);
+  const auto path =
+      write_temp(to_v3_bytes_blocked(r.tr, 64), "ups_ahead_seek.v3");
+  trace_v3_cursor seq(path, trace_access::sequential);
+  trace_v3_cursor ahead(path, trace_access::decode_ahead);
+  const auto& pk = r.tr.packets;
+  const sim::time_ps probes[] = {
+      pk[pk.size() / 2].ingress_time, pk[pk.size() / 4].ingress_time,
+      pk.front().ingress_time, pk[(3 * pk.size()) / 4].ingress_time + 1,
+      pk.back().ingress_time + 1};
+  for (const sim::time_ps t : probes) {
+    seq.seek_lower_bound(t);
+    ahead.seek_lower_bound(t);
+    // Walk a stretch after the seek (and at the last probe, to the end).
+    for (int step = 0; step < 200; ++step) {
+      const packet_record* a = seq.next();
+      const packet_record* b = ahead.next();
+      if (a == nullptr || b == nullptr) {
+        EXPECT_EQ(a == nullptr, b == nullptr) << "probe " << t;
+        break;
+      }
+      ASSERT_EQ(a->id, b->id) << "probe " << t << " step " << step;
+      ASSERT_EQ(a->ingress_time, b->ingress_time);
+      ASSERT_EQ(a->path, b->path);
+      ASSERT_EQ(a->hop_departs, b->hop_departs);
+    }
+  }
+  std::remove(path.c_str());
+}
+
 TEST(trace_v3, seek_lower_bound_matches_linear_scan) {
   auto r = small_run(false);
   sort_by_ingress(r.tr);
@@ -301,8 +416,8 @@ TEST(trace_v3, block_range_drain_covers_the_file_exactly_once) {
 
 TEST(trace_v3, replay_identical_across_v1_v2_v3_serial_and_sharded) {
   // The headline invariant: the same recorded schedule replayed from all
-  // three on-disk formats — serially and through run_sharded_disk — must
-  // produce byte-identical outcomes.
+  // three on-disk formats — serially and through the dispatch thread
+  // backend — must produce byte-identical outcomes.
   auto r = small_run(false);
   sort_by_ingress(r.tr);
   const std::string d = ::testing::TempDir();
@@ -330,11 +445,19 @@ TEST(trace_v3, replay_identical_across_v1_v2_v3_serial_and_sharded) {
   exp::shard_options opt;
   opt.keep_outcomes = true;
   for (const std::size_t threads : {std::size_t{1}, std::size_t{3}}) {
-    opt.threads = threads;
+    exp::dispatch::backend_spec spec;
+    spec.kind = exp::dispatch::backend_kind::thread;
+    spec.workers = threads;
     task.trace_path = p3;
-    const auto v3_res = exp::run_sharded_disk(task, opt);
+    const auto v3_rep = exp::dispatch::run(
+        exp::dispatch::job_plan::from_disk(task, opt), spec);
+    v3_rep.throw_if_failed();
+    const auto& v3_res = v3_rep.disk_replays;
     task.trace_path = p2;
-    const auto v2_res = exp::run_sharded_disk(task, opt);
+    const auto v2_rep = exp::dispatch::run(
+        exp::dispatch::job_plan::from_disk(task, opt), spec);
+    v2_rep.throw_if_failed();
+    const auto& v2_res = v2_rep.disk_replays;
     ASSERT_EQ(v3_res.size(), task.modes.size());
     for (std::size_t m = 0; m < task.modes.size(); ++m) {
       ups::testing::expect_identical_results(v2_res[m].result,
