@@ -67,6 +67,22 @@
 // serial, thread, and process backends, and the zero-loss lane must match
 // the plain sweep's first scenario exactly (faults-off == faults-absent).
 //
+// A backpressure lane re-records the datacenter reference scenario under
+// per-link flow control (two credit budgets and a PFC-style pause/resume
+// threshold pair) and replays every lane with the 4-mode sweep — the
+// per-heuristic HoL-degradation curves under backpressure. The fat tree
+// is where this is physically honest: up-down routing has no cyclic
+// channel dependencies, so credit flow control backpressures without
+// wormhole deadlock (a bench-scale trace on the cyclic WAN genuinely
+// wedges a credit cycle — the deadlock watchdog's own test owns that
+// gadget). The stall schedule is part of the recorded trace and replay
+// re-enacts it, so the lanes are byte-identity-gated across serial,
+// thread, and process backends; the flow-off lane must match the plain
+// sweep's fat-tree scenario exactly (flow-off == flow-absent); every
+// governed lane must actually stall; and flow control is lossless by
+// construction, so injected == delivered with zero drops on every
+// lane x mode.
+//
 // Gates (process exits non-zero on violation):
 //   identity      sharded results must be byte-identical to the serial run
 //                 (counters, thresholds, and per-packet outcomes for every
@@ -94,6 +110,12 @@
 //                 byte-identical to the plain sweep; every lossy lane
 //                 records > 0 drops; delivered + dropped == injected for
 //                 every lane x mode — always on
+//   backpressure  every backpressure lane byte-identical across serial,
+//                 thread, and process backends; the flow-off lane
+//                 byte-identical to the plain sweep's fat-tree scenario;
+//                 every governed lane records > 0 stalls; and every
+//                 lane x mode is lossless — delivered == injected with
+//                 zero drops — always on
 //   residency     streaming peak packet-pool residency on the largest
 //                 scenario <= --max-residency × the up-front peak — the
 //                 O(in-flight) vs O(trace) claim, measured, not assumed
@@ -182,6 +204,7 @@
 #include "exp/dispatch/backend.h"
 #include "exp/replay_experiment.h"
 #include "net/fault.h"
+#include "net/flow_control.h"
 #include "net/trace_binary.h"
 #include "net/trace_io.h"
 #include "page_cache.h"
@@ -636,6 +659,90 @@ int main(int argc, char** argv) {
                            loss_serial[i].trace_packets;
     }
     if (i > 0 && lane_dropped == 0) loss_fired = false;
+  }
+
+  // --- backpressure lane: flow control x budget x replay heuristic ----------
+  // The datacenter reference scenario re-recorded under per-link flow
+  // control, replayed with every candidate mode. The stall schedule is
+  // part of the recorded trace (replay re-enacts the original run's
+  // stalls), and flow control itself draws no randomness, so every
+  // backend must reproduce identical counters and outcome vectors.
+  // Backpressure defers packets instead of dropping them: injected ==
+  // delivered with zero drops is a hard invariant of every lane.
+  const char* const flow_axis[] = {
+      "",                   // ungoverned reference
+      "credit:30000",       // 20-packet per-link credit budget
+      "credit:15000",       // 10-packet budget — deeper backpressure
+      "pause:30000,15000",  // PFC-style pause/resume thresholds
+  };
+  // The plain sweep's fat-tree open-loop scenario (specs[] index 5): the
+  // flow-off lane must be byte-identical to it — flow-off == flow-absent.
+  constexpr std::size_t kFlowReference = 5;
+  std::vector<exp::shard_task> flow_tasks;
+  for (const char* f : flow_axis) {
+    exp::shard_task t;
+    t.sc.topo = exp::topo_kind::fattree;
+    t.sc.utilization = 0.7;
+    t.sc.sched = core::sched_kind::random;
+    t.sc.seed = a.seed;
+    t.sc.packet_budget = budget;
+    if (*f != '\0') t.sc.flow = net::flow_spec::parse(f);
+    t.modes = modes;
+    flow_tasks.push_back(std::move(t));
+  }
+  const auto flow_plan =
+      exp::dispatch::job_plan::from_tasks(flow_tasks, mem_opt);
+  const auto run_flow = [&](const exp::dispatch::backend_spec& spec) {
+    auto rep = exp::dispatch::run(flow_plan, spec);
+    rep.throw_if_failed();
+    return std::move(rep.results);
+  };
+  const auto flow_serial = run_flow(serial_spec);
+  bool flow_backends_same = identical(flow_serial, run_flow(sharded_spec));
+  if (process_available) {
+    for (const std::size_t nproc : {2u, 4u}) {
+      exp::dispatch::backend_spec pspec;
+      pspec.kind = exp::dispatch::backend_kind::process;
+      pspec.workers = nproc;
+      flow_backends_same =
+          flow_backends_same && identical(flow_serial, run_flow(pspec));
+    }
+  }
+  bool flow_zero_same =
+      flow_serial[0].trace_packets == serial[kFlowReference].trace_packets &&
+      flow_serial[0].threshold_T == serial[kFlowReference].threshold_T &&
+      flow_serial[0].replays.size() ==
+          serial[kFlowReference].replays.size();
+  for (std::size_t m = 0;
+       flow_zero_same && m < serial[kFlowReference].replays.size(); ++m) {
+    flow_zero_same = same_result(flow_serial[0].replays[m].result,
+                                 serial[kFlowReference].replays[m].result);
+  }
+  bool flow_lossless = true;
+  for (const auto& lane : flow_serial) {
+    for (const auto& rep : lane.replays) {
+      flow_lossless = flow_lossless && rep.result.dropped == 0 &&
+                      rep.result.total == lane.trace_packets;
+    }
+  }
+  // Stall evidence, read off the recorded traces themselves: a budget so
+  // loose it never parks a transmitter tests nothing. One serial original
+  // per governed lane; the stalled-record counts and total stall time are
+  // the lane's trajectory data.
+  struct flow_lane_stalls {
+    std::uint64_t stalled_records = 0;
+    sim::time_ps stall_time = 0;
+  };
+  std::vector<flow_lane_stalls> flow_stalls(std::size(flow_axis));
+  bool flow_fired = true;
+  for (std::size_t i = 1; i < std::size(flow_axis); ++i) {
+    const auto forig = exp::run_original(flow_tasks[i].sc);
+    for (const auto& r : forig.trace.packets) {
+      if (!r.stalled()) continue;
+      ++flow_stalls[i].stalled_records;
+      flow_stalls[i].stall_time += r.stall_time;
+    }
+    if (flow_stalls[i].stalled_records == 0) flow_fired = false;
   }
 
   // Residency proxy: replay the bench's largest trace once with up-front
@@ -1192,6 +1299,30 @@ int main(int argc, char** argv) {
   std::printf("  backends identical: %s, zero-loss lane == plain sweep: %s\n",
               loss_backends_same ? "yes" : "NO",
               loss_zero_same ? "yes" : "NO");
+  std::printf("\nbackpressure lane (fat tree @70%% Random, original recorded "
+              "under flow control, stalls re-enacted across modes):\n");
+  std::printf("  %-18s %9s %9s %10s", "flow", "packets", "stalled",
+              "stall ms");
+  for (const auto m : modes) std::printf(" %16s", core::to_string(m));
+  std::printf("\n");
+  for (std::size_t i = 0; i < flow_serial.size(); ++i) {
+    const auto& r = flow_serial[i];
+    std::printf("  %-18s %9llu %9llu %10.3f",
+                flow_axis[i][0] != '\0' ? flow_axis[i] : "none",
+                static_cast<unsigned long long>(r.trace_packets),
+                static_cast<unsigned long long>(
+                    flow_stalls[i].stalled_records),
+                static_cast<double>(flow_stalls[i].stall_time) / 1e9);
+    for (const auto& rep : r.replays) {
+      std::printf("   %6.4f/%7.4f", rep.result.frac_overdue(),
+                  rep.result.frac_overdue_beyond_T());
+    }
+    std::printf("\n");
+  }
+  std::printf("  backends identical: %s, flow-off lane == plain sweep: %s, "
+              "lossless (injected == delivered, zero drops): %s\n",
+              flow_backends_same ? "yes" : "NO",
+              flow_zero_same ? "yes" : "NO", flow_lossless ? "yes" : "NO");
   std::printf("\nworkload lane (I2 @70%% Random, per-kind original + LSTF "
               "replay; peak@2x gates the plateau):\n");
   std::printf("  %-14s %9s %14s %14s %12s %12s %10s\n", "workload", "packets",
@@ -1512,6 +1643,32 @@ int main(int argc, char** argv) {
       out << "]}" << (i + 1 < loss_serial.size() ? "," : "") << "\n";
     }
     out << "  ]},\n"
+        << "  \"backpressure\": {\"identical_across_backends\": "
+        << (flow_backends_same ? "true" : "false")
+        << ", \"zero_flow_identical\": "
+        << (flow_zero_same ? "true" : "false")
+        << ", \"lossless\": " << (flow_lossless ? "true" : "false")
+        << ", \"lanes\": [\n";
+    for (std::size_t i = 0; i < flow_serial.size(); ++i) {
+      const auto& r = flow_serial[i];
+      out << "    {\"flow\": \""
+          << (flow_axis[i][0] != '\0' ? flow_axis[i] : "none")
+          << "\", \"trace_packets\": " << r.trace_packets
+          << ", \"stalled_records\": " << flow_stalls[i].stalled_records
+          << ", \"stall_ms\": "
+          << static_cast<double>(flow_stalls[i].stall_time) / 1e9
+          << ", \"modes\": [";
+      for (std::size_t m = 0; m < r.replays.size(); ++m) {
+        const auto& rep = r.replays[m];
+        out << (m ? ", " : "") << "{\"mode\": \""
+            << core::to_string(rep.mode)
+            << "\", \"frac_overdue\": " << rep.result.frac_overdue()
+            << ", \"frac_overdue_beyond_T\": "
+            << rep.result.frac_overdue_beyond_T() << "}";
+      }
+      out << "]}" << (i + 1 < flow_serial.size() ? "," : "") << "\n";
+    }
+    out << "  ]},\n"
         << "  \"workloads\": [\n";
     for (std::size_t i = 0; i < lanes.size(); ++i) {
       const auto& l = lanes[i];
@@ -1601,6 +1758,32 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "FAIL: replay-under-loss leaked packets: delivered + "
                  "dropped != injected on some lane/mode\n");
+    ++failures;
+  }
+  if (!flow_backends_same) {
+    std::fprintf(stderr,
+                 "FAIL: a backpressure lane differs across dispatch "
+                 "backends — flow control or stall re-enactment is not "
+                 "deterministic\n");
+    ++failures;
+  }
+  if (!flow_zero_same) {
+    std::fprintf(stderr,
+                 "FAIL: the flow-off lane differs from the plain sweep — "
+                 "a disabled flow spec perturbed the schedule\n");
+    ++failures;
+  }
+  if (!flow_fired) {
+    std::fprintf(stderr,
+                 "FAIL: a governed backpressure lane recorded zero stalls "
+                 "— its flow budget never parked a transmitter\n");
+    ++failures;
+  }
+  if (!flow_lossless) {
+    std::fprintf(stderr,
+                 "FAIL: a flow-controlled replay lost packets: delivered "
+                 "!= injected or drops > 0 — backpressure must be "
+                 "lossless\n");
     ++failures;
   }
   // The process-count speedup bar, like the thread one, needs real cores.

@@ -77,6 +77,18 @@ net::packet_ptr packet_from_record(net::network& net,
       ref_out = r.drop_time + net.tmin(*p, j);
     }
   }
+  // Replay-under-backpressure: a recorded stall is re-enacted as a hold at
+  // the router where the packet's longest pause happened — the network
+  // re-posts the arrival stall_time later. No flow control runs during
+  // replay; the recorded delay stands in for the credit wait.
+  if (r.stalled()) {
+    if (r.stall_hop < 0 ||
+        static_cast<std::size_t>(r.stall_hop) >= r.path.size()) {
+      throw std::invalid_argument("replay: stall record hop out of range");
+    }
+    p->forced_stall_hop = r.stall_hop;
+    p->forced_stall_time = r.stall_time;
+  }
   switch (opt.mode) {
     case replay_mode::lstf:
     case replay_mode::lstf_preemptive:
@@ -192,7 +204,9 @@ replay_result replay_trace(net::trace_cursor& cur,
   topo(net);
   // Replay uses unbounded buffers and attaches no fault process: the only
   // drops are the forced replays of losses recorded in the original run.
+  // Flow control is off unless the caller opts into live backpressure.
   net.set_buffer_bytes(0);
+  net.set_flow(opt.flow);
   net.set_preemption(opt.mode == replay_mode::lstf_preemptive);
   net.set_scheduler_factory(
       make_factory(scheduler_for(opt.mode), opt.seed, &net));

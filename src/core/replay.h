@@ -102,6 +102,11 @@ struct replay_options {
   std::uint64_t seed = 1;
   // Keep per-packet outcomes (Figure 1 needs them; Table 1 does not).
   bool keep_outcomes = true;
+  // Live flow control for the replay network (net::flow_spec, default
+  // none). Recorded stalls re-enact regardless; enabling this additionally
+  // governs the replay's own links, so replay-under-live-backpressure can
+  // be studied with the same credit/pause grammar as originals.
+  net::flow_spec flow;
   // Omniscient-mode header quantization (§5's "least information" open
   // question): per-hop deadlines are rounded down to multiples of this
   // quantum before replay, modelling a header with fewer bits of timing

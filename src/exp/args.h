@@ -14,10 +14,22 @@
 //   --fault=SPEC      per-link fault process for the original run:
 //                     bernoulli:p | ge:p_g,p_b,r | jam:period_us,duty[,speedup]
 //                     (see net::fault_spec::parse); empty means lossless
+//   --flow=SPEC       per-link flow control for the original run:
+//                     credit:bytes[,rtt_us] | pause:high,low | none
+//                     (see net::flow_spec::parse); empty means ungoverned
 //   --kill-worker-after=K
 //                     fault injection for the process backend: the first
 //                     worker SIGKILLs itself after computing its K-th job
 //                     but before reporting it (0 = off)
+//   --hang-worker-after=K
+//                     stall injection for the process backend: the first
+//                     worker hangs forever after computing its K-th job
+//                     but before reporting it (0 = off); exercises the
+//                     coordinator's assign->result watchdog
+//   --worker-timeout-ms=N
+//                     process-backend watchdog: a worker silent for N ms
+//                     after an assignment is classified timed_out and its
+//                     range reassigned (0 = backend default)
 #pragma once
 
 #include <cstdint>
@@ -36,7 +48,10 @@ struct args {
   std::string workload;      // empty: use the experiment default
   std::string dispatch;      // empty: use the binary's default backend
   std::string fault;         // empty: lossless links
+  std::string flow;          // empty: ungoverned links
   std::uint64_t kill_worker_after = 0;  // 0: fault injection off
+  std::uint64_t hang_worker_after = 0;  // 0: stall injection off
+  std::int64_t worker_timeout_ms = 0;   // 0: backend default
 
   [[nodiscard]] static args parse(int argc, char** argv) {
     args a;
@@ -56,8 +71,14 @@ struct args {
         a.dispatch = s.substr(11);
       } else if (s.rfind("--fault=", 0) == 0) {
         a.fault = s.substr(8);
+      } else if (s.rfind("--flow=", 0) == 0) {
+        a.flow = s.substr(7);
       } else if (s.rfind("--kill-worker-after=", 0) == 0) {
         a.kill_worker_after = std::strtoull(s.c_str() + 20, nullptr, 10);
+      } else if (s.rfind("--hang-worker-after=", 0) == 0) {
+        a.hang_worker_after = std::strtoull(s.c_str() + 20, nullptr, 10);
+      } else if (s.rfind("--worker-timeout-ms=", 0) == 0) {
+        a.worker_timeout_ms = std::strtoll(s.c_str() + 20, nullptr, 10);
       } else if (s == "--quick") {
         a.quick = true;
       }

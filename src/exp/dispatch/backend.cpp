@@ -34,6 +34,7 @@ const char* to_string(worker_failure_kind k) {
     case worker_failure_kind::exit_code: return "exit_code";
     case worker_failure_kind::killed_by_signal: return "killed_by_signal";
     case worker_failure_kind::protocol_error: return "protocol_error";
+    case worker_failure_kind::timed_out: return "timed_out";
   }
   return "?";
 }
@@ -168,7 +169,8 @@ shard_result run_memory_job(const job_plan& plan, std::size_t job) {
     r.replays[m].mode = t.modes[m];
     r.replays[m].result = run_replay(orig, t.modes[m],
                                      plan.options.keep_outcomes,
-                                     plan.options.injection);
+                                     plan.options.injection,
+                                     plan.options.replay_flow);
     r.replays[m].wall_seconds = wall_seconds_since(tm);
   }
   return r;
@@ -181,7 +183,9 @@ shard_replay run_disk_job(const job_plan& plan, std::size_t job) {
   out.mode = d.modes[job];
   out.result = run_replay_file(d.trace_path, d.topology, d.threshold_T,
                                out.mode, plan.options.keep_outcomes,
-                               plan.options.injection);
+                               plan.options.injection,
+                               net::trace_access::sequential,
+                               plan.options.replay_flow);
   out.wall_seconds = wall_seconds_since(t0);
   return out;
 }
@@ -248,7 +252,8 @@ run_report run_local(const job_plan& plan, std::size_t workers) {
     out.mode = tasks[i].modes[m];
     out.result = run_replay(originals[i], out.mode,
                             plan.options.keep_outcomes,
-                            plan.options.injection);
+                            plan.options.injection,
+                            plan.options.replay_flow);
     out.wall_seconds = wall_seconds_since(t0);
   });
   for (std::size_t j = 0; j < pairs.size(); ++j) {

@@ -73,6 +73,10 @@ struct shard_result {
 struct shard_options {
   bool keep_outcomes = false;
   core::injection_mode injection = core::injection_mode::streaming;
+  // Live flow control attached to every replay network (on top of the
+  // re-enacted recorded stalls); default none. Originals take theirs from
+  // scenario::flow instead.
+  net::flow_spec replay_flow;
 };
 
 // One on-disk trace fanned across candidate replay modes. Every worker —
@@ -106,6 +110,17 @@ struct backend_spec {
   // truncated garbage frame in place of its K-th result and exits —
   // exercises the coordinator's typed protocol-error classification.
   std::uint64_t garble_result_at = 0;
+  // Stall injection (process backend, off at 0): the first worker spawned
+  // hangs forever after *computing* its K-th job but before reporting it —
+  // alive as a process yet silent on its socket — so the coordinator's
+  // assign->result watchdog is what has to notice, kill, and reassign.
+  std::uint64_t hang_worker_after = 0;
+  // Watchdog deadline (process backend): a worker that has produced no
+  // frame for this long after an assignment is classified timed_out,
+  // SIGKILLed, and its in-flight range reassigned. 0 picks the default —
+  // generous (15 min) because real replay jobs legitimately run minutes;
+  // tests injecting hangs dial it down to keep the suite fast.
+  std::int64_t worker_timeout_ms = 0;
 
   // Parses "serial" | "thread[:N]" | "process[:N]" (the shared --dispatch=
   // CLI syntax, see exp/args.h). Throws std::invalid_argument on anything
@@ -145,6 +160,7 @@ enum class worker_failure_kind : std::uint8_t {
   exit_code,         // exited with a nonzero status
   killed_by_signal,  // SIGKILL/SIGSEGV/... (detail = signal number)
   protocol_error,    // truncated or garbage frame on its socket
+  timed_out,         // alive but silent past the assign->result deadline
 };
 
 [[nodiscard]] const char* to_string(worker_failure_kind k);

@@ -31,6 +31,12 @@ namespace {
 // instead of burning the whole respawn budget on it.
 constexpr int kMaxJobAttempts = 3;
 
+// Default assign->result watchdog deadline. Generous — real replay jobs
+// legitimately run minutes at RocketFuel scale — yet finite, so a hung
+// worker can never hang the whole run. Tests injecting --hang-worker-after
+// dial it down via backend_spec::worker_timeout_ms.
+constexpr std::int64_t kDefaultWorkerTimeoutMs = 15 * 60 * 1000;
+
 [[nodiscard]] constexpr std::uint64_t zigzag(std::int64_t v) noexcept {
   return (static_cast<std::uint64_t>(v) << 1) ^
          static_cast<std::uint64_t>(v >> 63);
@@ -100,6 +106,7 @@ void decode_disk_result(const std::uint8_t*& p, const std::uint8_t* end,
 struct worker_config {
   std::uint64_t kill_after = 0;  // SIGKILL before reporting the K-th job
   std::uint64_t garble_at = 0;   // truncated garbage instead of K-th result
+  std::uint64_t hang_after = 0;  // hang forever before reporting K-th job
 };
 
 [[noreturn]] void worker_main(const job_plan& plan, int fd,
@@ -163,6 +170,12 @@ struct worker_config {
         // in flight, so the coordinator's reassign/rerun path always runs.
         ::raise(SIGKILL);
       }
+      if (cfg.hang_after != 0 && completed == cfg.hang_after) {
+        // Go silent with the finished job unreported — the process stays
+        // alive (no EOF, no wait status), so only the coordinator's
+        // assign->result watchdog can notice and recover.
+        for (;;) ::pause();
+      }
       if (!send_frame(fd, frame_type::result, payload)) _exit(15);
     }
   }
@@ -177,6 +190,9 @@ struct worker_state {
   frame_splitter rx;
   std::deque<std::size_t> in_flight;  // assigned, not yet acknowledged
   bool shutdown_sent = false;
+  // Watchdog clock: reset at spawn, on every assignment, and on every byte
+  // received. A worker holding work whose clock goes stale is timed out.
+  std::chrono::steady_clock::time_point last_activity;
 };
 
 class coordinator {
@@ -241,6 +257,7 @@ class coordinator {
         if (w == nullptr) continue;
         service(*w, buf);
       }
+      reap_timed_out();
     }
     shutdown_all();
     return std::move(rep_);
@@ -278,6 +295,7 @@ class coordinator {
       if (index == 0) {
         cfg.kill_after = spec_.kill_worker_after;
         cfg.garble_at = spec_.garble_result_at;
+        cfg.hang_after = spec_.hang_worker_after;
       }
       worker_main(plan_, sv[1], cfg);  // noreturn
     }
@@ -286,6 +304,7 @@ class coordinator {
     w.pid = pid;
     w.fd = sv[0];
     w.spawn_index = index;
+    w.last_activity = std::chrono::steady_clock::now();
     workers_.push_back(std::move(w));
   }
 
@@ -311,6 +330,7 @@ class coordinator {
       ++count;
     }
     for (std::size_t k = 0; k < count; ++k) w.in_flight.push_back(first + k);
+    w.last_activity = std::chrono::steady_clock::now();
     std::vector<std::uint8_t> payload;
     put_varint(payload, first);
     put_varint(payload, count);
@@ -334,6 +354,7 @@ class coordinator {
         handle_eof(w);
         return;
       }
+      w.last_activity = std::chrono::steady_clock::now();
       w.rx.feed(buf.data(), static_cast<std::size_t>(n));
       try {
         frame f;
@@ -412,6 +433,37 @@ class coordinator {
       msg = "worker exited before shutdown";
     }
     record_failure(w, kind, detail, msg, /*already_reaped=*/true);
+  }
+
+  // Stall watchdog: a worker holding assigned work yet silent on its
+  // socket past the deadline is as gone as a crashed one — the job-purity
+  // argument that justifies rerunning a dead worker's range covers a hung
+  // worker's range identically. SIGKILL it (a reply arriving after the
+  // range was reassigned would corrupt slot accounting) and classify
+  // timed_out so the recovery log distinguishes hangs from crashes.
+  void reap_timed_out() {
+    const std::int64_t ms = spec_.worker_timeout_ms > 0
+                                ? spec_.worker_timeout_ms
+                                : kDefaultWorkerTimeoutMs;
+    const auto now = std::chrono::steady_clock::now();
+    std::vector<pid_t> stale;
+    for (const auto& w : workers_) {
+      if (w.in_flight.empty()) continue;
+      const auto quiet = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             now - w.last_activity)
+                             .count();
+      if (quiet >= ms) stale.push_back(w.pid);
+    }
+    // fail_worker erases from workers_, so resolve each pid fresh.
+    for (const pid_t pid : stale) {
+      for (auto& w : workers_) {
+        if (w.pid != pid) continue;
+        fail_worker(w, worker_failure_kind::timed_out,
+                    "worker silent for " + std::to_string(ms) +
+                        " ms with assigned work (hung?)");
+        break;
+      }
+    }
   }
 
   void fail_worker(worker_state& w, worker_failure_kind kind,

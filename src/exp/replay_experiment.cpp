@@ -33,6 +33,7 @@ original_run run_original(const scenario& sc) {
   net.set_buffer_bytes(0);  // paper: buffers large enough for no drops
   net.set_scheduler_factory(core::make_factory(sc.sched, sc.seed, &net));
   net.set_fault(sc.fault, sc.seed);
+  net.set_flow(sc.flow);
   net.build();
 
   net::trace_recorder recorder(net, sc.record_hops);
@@ -65,12 +66,14 @@ original_run run_original(const scenario& sc) {
 
 core::replay_result run_replay(const original_run& orig,
                                core::replay_mode mode, bool keep_outcomes,
-                               core::injection_mode injection) {
+                               core::injection_mode injection,
+                               const net::flow_spec& flow) {
   core::replay_options opt;
   opt.mode = mode;
   opt.threshold_T = orig.threshold_T;
   opt.keep_outcomes = keep_outcomes;
   opt.injection = injection;
+  opt.flow = flow;
   const auto& topology = orig.topology;
   return core::replay_trace(
       orig.trace,
@@ -83,12 +86,14 @@ core::replay_result run_replay_file(const std::string& trace_path,
                                     core::replay_mode mode,
                                     bool keep_outcomes,
                                     core::injection_mode injection,
-                                    net::trace_access access) {
+                                    net::trace_access access,
+                                    const net::flow_spec& flow) {
   core::replay_options opt;
   opt.mode = mode;
   opt.threshold_T = threshold_T;
   opt.keep_outcomes = keep_outcomes;
   opt.injection = injection;
+  opt.flow = flow;
   const auto cur = net::open_trace_cursor(trace_path, access);
   return core::replay_trace(
       *cur, [&topology](net::network& n) { topo::populate(topology, n); },

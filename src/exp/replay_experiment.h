@@ -39,7 +39,8 @@ struct original_run {
 [[nodiscard]] core::replay_result run_replay(
     const original_run& orig, core::replay_mode mode,
     bool keep_outcomes = false,
-    core::injection_mode injection = core::injection_mode::streaming);
+    core::injection_mode injection = core::injection_mode::streaming,
+    const net::flow_spec& flow = {});
 
 // Replays a trace straight from disk over `topology`: the file's format is
 // sniffed (net::open_trace_cursor), so a v3 trace replays through the
@@ -54,7 +55,8 @@ struct original_run {
     sim::time_ps threshold_T, core::replay_mode mode,
     bool keep_outcomes = false,
     core::injection_mode injection = core::injection_mode::streaming,
-    net::trace_access access = net::trace_access::sequential);
+    net::trace_access access = net::trace_access::sequential,
+    const net::flow_spec& flow = {});
 
 // Convenience: original + LSTF replay in one call (a Table 1 row).
 [[nodiscard]] core::replay_result table1_row(const scenario& sc);

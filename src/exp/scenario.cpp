@@ -78,6 +78,12 @@ std::string scenario::label() const {
     s += " ";
     s += fault.label();
   }
+  // Same rule for flow control: ungoverned labels stay byte-identical to
+  // output from before backpressure existed.
+  if (flow.enabled()) {
+    s += " ";
+    s += flow.label();
+  }
   return s;
 }
 
@@ -88,6 +94,7 @@ void apply_overrides(const args& a, scenario& sc) {
     sc.workload_kind = traffic::parse_workload(a.workload, sc.workload_spec);
   }
   if (!a.fault.empty()) sc.fault = net::fault_spec::parse(a.fault);
+  if (!a.flow.empty()) sc.flow = net::flow_spec::parse(a.flow);
 }
 
 }  // namespace ups::exp

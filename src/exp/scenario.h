@@ -8,6 +8,7 @@
 #include "core/registry.h"
 #include "exp/args.h"
 #include "net/fault.h"
+#include "net/flow_control.h"
 #include "topo/topology.h"
 #include "traffic/source.h"
 
@@ -49,6 +50,10 @@ struct scenario {
   // links (net::fault_spec::parse syntax); disabled by default so
   // zero-loss scenario labels stay byte-identical to pre-fault output.
   net::fault_spec fault;
+  // Per-link flow control for the original run (net::flow_spec::parse
+  // syntax); disabled by default so ungoverned scenario labels stay
+  // byte-identical to pre-flow-control output.
+  net::flow_spec flow;
 
   // Unique across every knob that changes the generated schedule: topology,
   // utilization, scheduler, flow-size distribution, and the workload kind
@@ -59,8 +64,9 @@ struct scenario {
 
 // Applies parsed CLI overrides onto a scenario: --seed= always,
 // --utilization= when set, --workload= (kind plus any ":knob" suffix) when
-// set, --fault= (net::fault_spec::parse syntax) when set. Budget overrides
-// still go through args::budget().
+// set, --fault= (net::fault_spec::parse syntax) when set, --flow=
+// (net::flow_spec::parse syntax) when set. Budget overrides still go
+// through args::budget().
 void apply_overrides(const args& a, scenario& sc);
 
 }  // namespace ups::exp

@@ -1,0 +1,118 @@
+#include "net/flow_control.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace ups::net {
+
+namespace {
+
+// One full-size packet: a credit budget (or a pause high threshold) below
+// this could never admit an MTU-sized transmission, i.e. guaranteed
+// deadlock by construction.
+constexpr std::int64_t kMinBudgetBytes = 1500;
+
+[[nodiscard]] std::vector<double> parse_params(const std::string& body,
+                                               std::size_t min_n,
+                                               std::size_t max_n,
+                                               const char* what) {
+  std::vector<double> out;
+  std::size_t pos = 0;
+  while (pos <= body.size()) {
+    const std::size_t comma = body.find(',', pos);
+    const std::string tok =
+        body.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (tok.empty() || end == nullptr || *end != '\0') {
+      throw std::invalid_argument(std::string("flow: bad ") + what +
+                                  " parameter '" + tok + "'");
+    }
+    out.push_back(v);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (out.size() < min_n || out.size() > max_n) {
+    throw std::invalid_argument(std::string("flow: ") + what +
+                                " expects between " + std::to_string(min_n) +
+                                " and " + std::to_string(max_n) +
+                                " parameters");
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string flow_spec::label() const {
+  char buf[96];
+  switch (kind) {
+    case flow_kind::none:
+      return {};
+    case flow_kind::credit:
+      if (return_delay >= 0) {
+        std::snprintf(buf, sizeof buf, "credit:%lld,%g",
+                      static_cast<long long>(credit_bytes),
+                      static_cast<double>(return_delay) / 1e6);
+      } else {
+        std::snprintf(buf, sizeof buf, "credit:%lld",
+                      static_cast<long long>(credit_bytes));
+      }
+      return buf;
+    case flow_kind::pause:
+      std::snprintf(buf, sizeof buf, "pause:%lld,%lld",
+                    static_cast<long long>(pause_high),
+                    static_cast<long long>(pause_low));
+      return buf;
+  }
+  return {};
+}
+
+flow_spec flow_spec::parse(const std::string& s) {
+  flow_spec f;
+  if (s.empty() || s == "none") return f;
+  const std::size_t colon = s.find(':');
+  const std::string head = s.substr(0, colon);
+  const std::string body =
+      colon == std::string::npos ? std::string{} : s.substr(colon + 1);
+  if (head == "credit") {
+    const auto v = parse_params(body, 1, 2, "credit");
+    const auto bytes = static_cast<std::int64_t>(v[0]);
+    if (bytes < kMinBudgetBytes) {
+      throw std::invalid_argument(
+          "flow: credit budget must be >= " + std::to_string(kMinBudgetBytes) +
+          " bytes (one full-size packet)");
+    }
+    f.kind = flow_kind::credit;
+    f.credit_bytes = bytes;
+    if (v.size() == 2) {
+      if (v[1] < 0.0) {
+        throw std::invalid_argument("flow: credit rtt_us must be >= 0");
+      }
+      f.return_delay = static_cast<sim::time_ps>(v[1] * 1e6);  // us -> ps
+    }
+  } else if (head == "pause") {
+    const auto v = parse_params(body, 2, 2, "pause");
+    const auto high = static_cast<std::int64_t>(v[0]);
+    const auto low = static_cast<std::int64_t>(v[1]);
+    if (high < kMinBudgetBytes) {
+      throw std::invalid_argument(
+          "flow: pause high must be >= " + std::to_string(kMinBudgetBytes) +
+          " bytes (one full-size packet)");
+    }
+    if (low <= 0 || low >= high) {
+      throw std::invalid_argument(
+          "flow: pause thresholds need high > low > 0 "
+          "(equal thresholds can never resume)");
+    }
+    f.kind = flow_kind::pause;
+    f.pause_high = high;
+    f.pause_low = low;
+  } else {
+    throw std::invalid_argument("flow: unknown mode '" + head +
+                                "' (want credit|pause|none)");
+  }
+  return f;
+}
+
+}  // namespace ups::net

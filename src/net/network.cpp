@@ -34,6 +34,11 @@ void network::set_fault(const fault_spec& f, std::uint64_t seed) {
   fault_seed_ = seed;
 }
 
+void network::set_flow(const flow_spec& f) {
+  if (built_) throw std::logic_error("network: set_flow after build");
+  flow_ = f;
+}
+
 void network::build() {
   if (built_) throw std::logic_error("network: build called twice");
   if (!factory_) throw std::logic_error("network: no scheduler factory");
@@ -66,6 +71,31 @@ void network::build() {
         link_faults_[static_cast<std::size_t>(pt->id())] =
             link_fault(fault_, fault_seed_, pt->id());
       }
+    }
+  }
+
+  // Flow control mirrors the fault attach: router->router ports only, keyed
+  // by (stable) port id. The watchdog interval is a few credit round trips
+  // on the slowest governed link so one check window always spans several
+  // chances for a return to land.
+  if (flow_.enabled()) {
+    link_flows_.resize(ports_.size());
+    sim::time_ps max_rtt = 0;
+    for (const auto& pt : ports_) {
+      if (nodes_[pt->from()].kind == node_kind::router &&
+          nodes_[pt->to()].kind == node_kind::router) {
+        const auto pid = static_cast<std::size_t>(pt->id());
+        link_flows_[pid] = link_flow(flow_, pt->prop_delay());
+        pt->set_flow(&link_flows_[pid]);
+        governed_ports_.push_back(pt->id());
+        const sim::time_ps rtt =
+            pt->prop_delay() + link_flows_[pid].return_delay();
+        if (rtt > max_rtt) max_rtt = rtt;
+      }
+    }
+    flow_watchdog_interval_ = 4 * max_rtt;
+    if (flow_watchdog_interval_ < sim::kMicrosecond) {
+      flow_watchdog_interval_ = sim::kMicrosecond;
     }
   }
 
@@ -209,11 +239,19 @@ void network::post(packet_ptr p, node_id to, sim::time_ps at, bool early) {
 void network::transmitted(packet_ptr p, const port& from_port,
                           sim::time_ps now) {
   const node_id to = from_port.to();
+  // Credit held at the *previous* hop becomes returnable the instant the
+  // packet's last bit leaves this router — before any drop decision below,
+  // because the upstream buffer space is free either way.
+  if (p->credit_prev_port >= 0) {
+    flow_schedule_release(p->credit_prev_port, p->size_bytes);
+    p->credit_prev_port = -1;
+  }
   // Replay-under-loss: a wire drop recorded at hop j in the original run is
   // re-enacted when the packet's last bit leaves path[j] (hop == j + 1 by
   // then: deliver() increments before the forwarding port).
   if (p->forced_drop_hop >= 0 && p->forced_drop_kind == drop_kind::wire &&
       p->hop == static_cast<std::size_t>(p->forced_drop_hop) + 1) {
+    flow_release_all(*p);
     count_drop(*p, from_port.from(), now, drop_kind::wire);
     return;
   }
@@ -222,6 +260,7 @@ void network::transmitted(packet_ptr p, const port& from_port,
   if (fault_.enabled() && nodes_[from_port.from()].kind == node_kind::router &&
       nodes_[to].kind == node_kind::router &&
       link_faults_[static_cast<std::size_t>(from_port.id())].lose(now)) {
+    flow_release_all(*p);
     count_drop(*p, from_port.from(), now, drop_kind::wire);
     return;
   }
@@ -235,15 +274,30 @@ void network::transmitted(packet_ptr p, const port& from_port,
 void network::deliver(packet_ptr p, node_id at) {
   if (nodes_[at].kind == node_kind::router) {
     assert(p->hop < p->path.size() && p->path[p->hop] == at);
-    if (p->hop == 0) {
+    // A forced-stall re-post re-delivers at the same hop, so ingress may
+    // only be marked on the packet's first arrival.
+    if (p->hop == 0 && p->ingress_time < 0) {
       p->ingress_time = sim_.now();
       if (hooks_.on_ingress) hooks_.on_ingress(*p, sim_.now());
+    }
+    // Replay-under-backpressure: a packet recorded as stalled is held at
+    // its longest-stall router for the full recorded stall time, then
+    // re-delivered here to forward normally. The delay is exogenous
+    // re-enactment (the original upstream head-park), so it adjusts
+    // arrival, not this run's queueing accounting.
+    if (p->forced_stall_hop >= 0 &&
+        p->hop == static_cast<std::size_t>(p->forced_stall_hop)) {
+      const sim::time_ps hold = p->forced_stall_time;
+      p->forced_stall_hop = -1;
+      post(std::move(p), at, sim_.now() + hold);
+      return;
     }
     // Replay-under-loss: a buffer drop recorded at hop j is re-enacted on
     // arrival at path[j] (before hop increments), standing in for the
     // original run's output-queue eviction there.
     if (p->forced_drop_hop >= 0 && p->forced_drop_kind == drop_kind::buffer &&
         p->hop == static_cast<std::size_t>(p->forced_drop_hop)) {
+      flow_release_all(*p);
       count_drop(*p, at, sim_.now(), drop_kind::buffer);
       return;
     }
@@ -255,6 +309,7 @@ void network::deliver(packet_ptr p, node_id at) {
   // Host delivery.
   assert(at == p->dst_host);
   ++stats_.delivered;
+  ++flow_progress_;
   if (host_handlers_[at]) {
     host_handlers_[at](std::move(p));
   }
@@ -263,8 +318,142 @@ void network::deliver(packet_ptr p, node_id at) {
 void network::count_drop(const packet& p, node_id at, sim::time_ps now,
                          drop_kind kind) {
   ++stats_.dropped;
+  ++flow_progress_;
   if (kind == drop_kind::wire) ++stats_.dropped_wire;
   if (hooks_.on_drop) hooks_.on_drop(p, at, now, kind);
+}
+
+void network::flow_port_blocked(const port& blocked) {
+  (void)blocked;
+  ++stats_.flow_blocks;
+  flow_watchdog_arm();
+}
+
+void network::flow_resumed(sim::time_ps stalled) {
+  ++stats_.flow_resumes;
+  stats_.flow_stall_time += stalled;
+  ++flow_progress_;
+}
+
+void network::flow_release_all(packet& p) {
+  if (link_flows_.empty()) return;
+  if (p.credit_prev_port >= 0) {
+    flow_schedule_release(p.credit_prev_port, p.size_bytes);
+    p.credit_prev_port = -1;
+  }
+  if (p.credit_port >= 0) {
+    flow_schedule_release(p.credit_port, p.size_bytes);
+    p.credit_port = -1;
+  }
+}
+
+void network::flow_schedule_release(std::int32_t port_id, std::int64_t bytes) {
+  const auto pid = static_cast<std::size_t>(port_id);
+  ++flow_returns_in_flight_;
+  sim_.schedule_in(link_flows_[pid].return_delay(), [this, pid, bytes] {
+    --flow_returns_in_flight_;
+    ++flow_progress_;
+    link_flows_[pid].release(bytes);
+    ports_[pid]->flow_credits_returned();
+  });
+}
+
+void network::flow_watchdog_arm() {
+  if (flow_watchdog_armed_) return;
+  flow_watchdog_armed_ = true;
+  flow_watchdog_seen_ = flow_progress_;
+  flow_watchdog_stuck_ = 0;
+  sim_.schedule_in(flow_watchdog_interval_, [this] { flow_watchdog_check(); });
+}
+
+void network::flow_watchdog_check() {
+  bool any_blocked = false;
+  for (const auto pid : governed_ports_) {
+    if (ports_[static_cast<std::size_t>(pid)]->flow_blocked()) {
+      any_blocked = true;
+      break;
+    }
+  }
+  if (!any_blocked) {
+    // Everything drained: disarm so an idle simulation can end. The next
+    // blocked port re-arms.
+    flow_watchdog_armed_ = false;
+    return;
+  }
+  if (flow_progress_ != flow_watchdog_seen_) {
+    // Blocked ports exist but packets are still moving: ordinary transient
+    // backpressure.
+    flow_watchdog_seen_ = flow_progress_;
+    flow_watchdog_stuck_ = 0;
+    ++stats_.watchdog_transient;
+    sim_.schedule_in(flow_watchdog_interval_,
+                     [this] { flow_watchdog_check(); });
+    return;
+  }
+  ++flow_watchdog_stuck_;
+  // Several full check windows (each a few credit RTTs) with zero global
+  // progress: look for a wait-for cycle among blocked routers. An edge
+  // A -> B means A's output toward B is parked waiting for B to drain; a
+  // cycle with no credit return left in flight cannot ever resolve.
+  constexpr std::uint32_t kCycleCheckAfter = 4;
+  constexpr std::uint32_t kHardStallCap = 64;
+  if (flow_watchdog_stuck_ >= kCycleCheckAfter &&
+      flow_returns_in_flight_ == 0) {
+    std::vector<std::vector<node_id>> adj(nodes_.size());
+    std::vector<node_id> blocked_from;
+    for (const auto pid : governed_ports_) {
+      const port& pt = *ports_[static_cast<std::size_t>(pid)];
+      if (pt.flow_blocked()) {
+        adj[static_cast<std::size_t>(pt.from())].push_back(pt.to());
+        blocked_from.push_back(pt.from());
+      }
+    }
+    // Colored DFS over the blocked-edge graph; reconstructs one cycle for
+    // the error message when found.
+    std::vector<std::uint8_t> color(nodes_.size(), 0);  // 0 new 1 open 2 done
+    std::vector<node_id> stack;
+    auto dfs = [&](auto&& self, node_id v) -> node_id {
+      color[static_cast<std::size_t>(v)] = 1;
+      stack.push_back(v);
+      for (const node_id w : adj[static_cast<std::size_t>(v)]) {
+        if (color[static_cast<std::size_t>(w)] == 1) return w;
+        if (color[static_cast<std::size_t>(w)] == 0) {
+          const node_id hit = self(self, w);
+          if (hit >= 0) return hit;
+        }
+      }
+      stack.pop_back();
+      color[static_cast<std::size_t>(v)] = 2;
+      return kInvalidNode;
+    };
+    for (const node_id v : blocked_from) {
+      if (color[static_cast<std::size_t>(v)] != 0) continue;
+      stack.clear();
+      const node_id entry = dfs(dfs, v);
+      if (entry < 0) continue;
+      std::string cycle;
+      bool in_cycle = false;
+      for (const node_id n : stack) {
+        if (n == entry) in_cycle = true;
+        if (!in_cycle) continue;
+        cycle += nodes_[static_cast<std::size_t>(n)].name;
+        cycle += " -> ";
+      }
+      cycle += nodes_[static_cast<std::size_t>(entry)].name;
+      throw flow_deadlock_error(
+          "flow: credit deadlock — wait-for cycle " + cycle + " (" +
+          std::to_string(blocked_from.size()) +
+          " blocked ports, no credit returns in flight)");
+    }
+  }
+  if (flow_watchdog_stuck_ >= kHardStallCap) {
+    throw flow_stall_error(
+        "flow: persistent stall — blocked ports made no progress for " +
+        std::to_string(kHardStallCap) +
+        " watchdog windows without a detectable wait-for cycle");
+  }
+  ++stats_.watchdog_persistent;
+  sim_.schedule_in(flow_watchdog_interval_, [this] { flow_watchdog_check(); });
 }
 
 void network::set_host_handler(node_id host,

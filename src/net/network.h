@@ -10,10 +10,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "net/fault.h"
+#include "net/flow_control.h"
 #include "net/node.h"
 #include "net/packet.h"
 #include "net/packet_pool.h"
@@ -56,6 +58,18 @@ struct network_stats {
   std::uint64_t delivered = 0;
   std::uint64_t dropped = 0;       // all drops, buffer + wire
   std::uint64_t dropped_wire = 0;  // link-fault (and forced wire) drops only
+  // Flow control / backpressure. flow_blocks counts head packets parking on
+  // a credit-starved link, flow_resumes the matching unblocks, and
+  // flow_stall_time their summed parked duration. The watchdog counters
+  // classify its no-progress checks: transient = blocked ports exist but
+  // the network made progress since the last check; persistent = a full
+  // stuck window passed without progress and without a detectable wait-for
+  // cycle (a true cycle throws flow_deadlock_error instead of counting).
+  std::uint64_t flow_blocks = 0;
+  std::uint64_t flow_resumes = 0;
+  sim::time_ps flow_stall_time = 0;
+  std::uint64_t watchdog_transient = 0;
+  std::uint64_t watchdog_persistent = 0;
 };
 
 class network {
@@ -71,8 +85,15 @@ class network {
   void add_link(node_id a, node_id b, sim::bits_per_sec rate,
                 sim::time_ps prop_delay);
   void set_scheduler_factory(scheduler_factory f) { factory_ = std::move(f); }
-  // Buffer capacity per port in bytes; <= 0 means unlimited.
-  void set_buffer_bytes(std::int64_t b) { buffer_bytes_ = b; }
+  // Buffer capacity per port in bytes; <= 0 means unlimited. A packet
+  // strictly larger than a finite buffer can never be admitted — it tail-
+  // drops even at an idle port — so finite budgets should be >= the MTU.
+  void set_buffer_bytes(std::int64_t b) {
+    if (built_) {
+      throw std::logic_error("network: set_buffer_bytes after build()");
+    }
+    buffer_bytes_ = b;
+  }
   void set_preemption(bool on) { preemption_ = on; }
   // Attaches a fault process to every router->router port at build() time,
   // seeded so drop decisions are a pure function of (seed, port id,
@@ -80,6 +101,12 @@ class network {
   // has a well-defined i(p).
   void set_fault(const fault_spec& f, std::uint64_t seed);
   [[nodiscard]] const fault_spec& fault() const noexcept { return fault_; }
+  // Attaches credit-based flow control to every router->router port at
+  // build() time (host uplinks stay ungoverned so i(p) is always
+  // well-defined). Fully deterministic: no RNG, so stall patterns are
+  // identical across dispatch backends.
+  void set_flow(const flow_spec& f);
+  [[nodiscard]] const flow_spec& flow() const noexcept { return flow_; }
   // Materializes ports. Must be called exactly once before any traffic.
   void build();
 
@@ -95,6 +122,14 @@ class network {
   void transmitted(packet_ptr p, const port& from_port, sim::time_ps now);
   void count_drop(const packet& p, node_id at, sim::time_ps now,
                   drop_kind kind);
+  // A governed port's head packet parked for lack of credits: count it and
+  // arm the stall watchdog.
+  void flow_port_blocked(const port& blocked);
+  // The matching unblock, with how long the head sat parked.
+  void flow_resumed(sim::time_ps stalled);
+  // Returns every credit a packet still holds (called on any drop path so
+  // fault+flow combinations cannot leak occupancy and wedge the link).
+  void flow_release_all(packet& p);
 
   // --- lookup ---
   [[nodiscard]] const node& node_at(node_id id) const { return nodes_[id]; }
@@ -151,6 +186,10 @@ class network {
   // `early`: deliver ahead of same-instant normal events (replay injection).
   void post(packet_ptr p, node_id to, sim::time_ps at, bool early = false);
   [[nodiscard]] const port* find_port(node_id from, node_id to) const;
+  // Schedules the delayed credit-return for one (port, bytes) release.
+  void flow_schedule_release(std::int32_t port_id, std::int64_t bytes);
+  void flow_watchdog_arm();
+  void flow_watchdog_check();
 
   sim::simulator& sim_;
   // Declared before every member that can hold packets (ports_, in_flight_)
@@ -168,6 +207,24 @@ class network {
   fault_spec fault_;
   std::uint64_t fault_seed_ = 0;
   std::vector<link_fault> link_faults_;  // indexed by port id; built_ only
+
+  // Flow control: occupancy ledgers indexed by port id (router->router
+  // only), plus the stall watchdog. The watchdog arms lazily on the first
+  // blocked port, checks every watchdog_interval_ (a few credit RTTs), and
+  // classifies: progress since last check = transient backpressure; a full
+  // stuck window without progress = persistent stall; a wait-for cycle
+  // among blocked routers with no credit return in flight = deadlock
+  // (typed throw). flow_progress_ advances on resumes, credit returns,
+  // deliveries, and drops.
+  flow_spec flow_;
+  std::vector<link_flow> link_flows_;        // indexed by port id
+  std::vector<std::int32_t> governed_ports_;
+  sim::time_ps flow_watchdog_interval_ = 0;
+  bool flow_watchdog_armed_ = false;
+  std::uint64_t flow_progress_ = 0;
+  std::uint64_t flow_watchdog_seen_ = 0;  // progress at last check
+  std::uint32_t flow_watchdog_stuck_ = 0;
+  std::int64_t flow_returns_in_flight_ = 0;
 
   // Dense route table replacing the old hashed (src,dst) cache: one row per
   // router with an attached host (the only possible route sources), filled

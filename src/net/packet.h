@@ -75,6 +75,27 @@ struct packet {
   std::int32_t forced_drop_hop = -1;
   drop_kind forced_drop_kind = drop_kind::buffer;
 
+  // --- flow-control scratch + stall bookkeeping ---
+  // Credit ledger: which governed port's occupancy this packet currently
+  // holds (consumed at fresh tx start) and which it held at the previous
+  // hop (released once the last bit leaves the downstream router). -1 =
+  // no credit held.
+  std::int32_t credit_port = -1;
+  std::int32_t credit_prev_port = -1;
+  // Backpressure measurement: how often and how long this packet sat as a
+  // blocked head waiting for downstream credits, and the hop where its
+  // single longest wait happened (stall_max is the running max interval
+  // backing that choice).
+  std::uint32_t stall_count = 0;
+  sim::time_ps stall_time = 0;
+  std::int32_t stall_hop = -1;
+  sim::time_ps stall_max = 0;
+  // Replay-under-backpressure: a packet recorded as stalled is re-delayed
+  // by its total recorded stall time at its longest-stall hop. -1 = never
+  // stalled in the original run.
+  std::int32_t forced_stall_hop = -1;
+  sim::time_ps forced_stall_time = 0;
+
   [[nodiscard]] bool at_last_router() const noexcept {
     return hop + 1 >= path.size();
   }
@@ -116,6 +137,14 @@ struct packet {
     ref_queueing_delay = 0;
     forced_drop_hop = -1;
     forced_drop_kind = drop_kind::buffer;
+    credit_port = -1;
+    credit_prev_port = -1;
+    stall_count = 0;
+    stall_time = 0;
+    stall_hop = -1;
+    stall_max = 0;
+    forced_stall_hop = -1;
+    forced_stall_time = 0;
   }
 };
 

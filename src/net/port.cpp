@@ -27,12 +27,18 @@ void port::receive(packet_ptr p) {
   // synchronously: zero transmission time means they can never queue, and
   // cutting through inline keeps same-instant arrivals visible to the next
   // congested port before its (late-phase) service decision runs.
-  if (rate_ == sim::kInfiniteRate && !busy() && sched_->empty()) {
+  if (rate_ == sim::kInfiniteRate && flow_ == nullptr && !busy() &&
+      sched_->empty()) {
     ++stats_.packets_sent;
     stats_.bytes_sent += p->size_bytes;
     if (p->record_hops && net_.is_router(from_)) {
       p->hop_departs.push_back(now);
     }
+    // Cut-through still completes a hop for the credit ledger: any credit
+    // held from the previous governed port becomes releasable once the
+    // packet leaves this router.
+    p->credit_prev_port = p->credit_port;
+    p->credit_port = -1;
     net_.transmitted(std::move(p), *this, now);
     return;
   }
@@ -64,11 +70,49 @@ void port::schedule_start() {
 }
 
 void port::start_next() {
-  packet_ptr p = sched_->dequeue(sim_.now());
+  const sim::time_ps now = sim_.now();
+  // A head denied by flow control keeps its position: nothing behind it may
+  // overtake (head-of-line blocking), so retries always pick it back up
+  // before consulting the scheduler.
+  const bool resumed = blocked_head_ != nullptr;
+  packet_ptr p =
+      resumed ? std::move(blocked_head_) : sched_->dequeue(now);
   if (p == nullptr) return;
-  if (p->tx_remaining < 0) p->tx_remaining = transmission_time(p->size_bytes);
+  // Only a *fresh* transmission consumes downstream credit; a
+  // preemption-resumed packet (tx_remaining >= 0) already holds its credit
+  // from the initial start.
+  const bool fresh = p->tx_remaining < 0;
+  if (fresh && flow_ != nullptr && !flow_->can_send(p->size_bytes)) {
+    blocked_head_ = std::move(p);
+    if (!resumed) {
+      // First denial: record the pause; re-denied retries keep the
+      // original blocked_since_ so stalled time is counted once.
+      blocked_since_ = now;
+      ++stats_.pauses;
+      net_.flow_port_blocked(*this);
+    }
+    return;
+  }
+  if (resumed) {
+    const sim::time_ps stalled = now - blocked_since_;
+    stats_.stalled_time += stalled;
+    ++stats_.resumes;
+    ++p->stall_count;
+    p->stall_time += stalled;
+    if (stalled > p->stall_max) {
+      p->stall_max = stalled;
+      p->stall_hop = static_cast<std::int32_t>(p->hop) - 1;
+    }
+    net_.flow_resumed(stalled);
+  }
+  if (fresh) {
+    p->tx_remaining = transmission_time(p->size_bytes);
+    p->credit_prev_port = p->credit_port;
+    p->credit_port = flow_ != nullptr ? id_ : -1;
+    if (flow_ != nullptr) flow_->consume(p->size_bytes);
+  }
   current_rank_ = p->sched_key;
-  tx_started_ = sim_.now();
+  tx_started_ = now;
   current_ = std::move(p);
   completion_ =
       sim_.schedule_in(current_->tx_remaining, [this] { on_complete(); });
@@ -114,6 +158,7 @@ void port::on_complete() {
 
 void port::drop(packet_ptr p) {
   ++stats_.packets_dropped;
+  net_.flow_release_all(*p);
   net_.count_drop(*p, from_, sim_.now(), drop_kind::buffer);
 }
 

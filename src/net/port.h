@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "net/flow_control.h"
 #include "net/packet.h"
 #include "net/scheduler.h"
 #include "sim/simulator.h"
@@ -24,6 +25,12 @@ struct port_stats {
   std::uint64_t bytes_sent = 0;
   std::uint64_t packets_dropped = 0;
   std::uint64_t preemptions = 0;
+  // Backpressure accounting: a pause is a head packet parking because the
+  // downstream link had no credit; the matching resume happens when a
+  // credit return unblocks it. stalled_time is the summed park duration.
+  std::uint64_t pauses = 0;
+  std::uint64_t resumes = 0;
+  sim::time_ps stalled_time = 0;
 };
 
 class port {
@@ -43,6 +50,25 @@ class port {
   // service is paused, already-transmitted bits are kept, and the remainder
   // re-contends through the scheduler.
   void set_preemption(bool on) noexcept { preemption_ = on; }
+
+  // Attaches the credit ledger governing this link (network::build wires
+  // router->router ports only). A governed port starts a fresh transmission
+  // only while the downstream occupancy admits it; otherwise the head
+  // packet parks in blocked_head_ and everything behind it HoL-blocks.
+  void set_flow(link_flow* flow) noexcept { flow_ = flow; }
+  [[nodiscard]] const link_flow* flow() const noexcept { return flow_; }
+  [[nodiscard]] bool flow_blocked() const noexcept {
+    return blocked_head_ != nullptr;
+  }
+  [[nodiscard]] sim::time_ps flow_blocked_since() const noexcept {
+    return blocked_since_;
+  }
+
+  // Called by the network when a delayed credit return lands for this
+  // link: retries the parked head via the usual late-phase service event.
+  void flow_credits_returned() {
+    if (blocked_head_ != nullptr) schedule_start();
+  }
 
   [[nodiscard]] std::int32_t id() const noexcept { return id_; }
   [[nodiscard]] node_id from() const noexcept { return from_; }
@@ -83,6 +109,12 @@ class port {
   std::unique_ptr<scheduler> sched_;
   std::int64_t buffer_bytes_;  // <= 0: unlimited
   bool preemption_ = false;
+  link_flow* flow_ = nullptr;  // nullptr: ungoverned link
+
+  // Head packet already dequeued but denied by flow control; it keeps the
+  // head position (head-of-line blocking) until credits return.
+  packet_ptr blocked_head_;
+  sim::time_ps blocked_since_ = 0;
 
   packet_ptr current_;
   std::int64_t current_rank_ = 0;

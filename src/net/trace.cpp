@@ -81,6 +81,11 @@ void trace_recorder::record(const packet& p, sim::time_ps now,
   } else {
     r.egress_time = now;
   }
+  if (p.stall_count > 0) {
+    r.stall_hop = p.stall_hop;
+    r.stall_count = p.stall_count;
+    r.stall_time = p.stall_time;
+  }
   if (with_hop_times_) r.hop_departs = p.hop_departs;
   result_.packets.push_back(std::move(r));
 }

@@ -43,8 +43,15 @@ struct packet_record {
   std::int32_t drop_hop = -1;
   drop_kind dropped_kind = drop_kind::buffer;
   sim::time_ps drop_time = -1;
+  // Stall record (backpressured originals): the packet sat parked as a
+  // blocked head stall_count times for stall_time total, longest at
+  // path[stall_hop]'s output port. stall_count == 0: never stalled.
+  std::int32_t stall_hop = -1;
+  std::uint32_t stall_count = 0;
+  sim::time_ps stall_time = 0;
 
   [[nodiscard]] bool dropped() const noexcept { return drop_hop >= 0; }
+  [[nodiscard]] bool stalled() const noexcept { return stall_count > 0; }
 };
 
 // Pull-based source of packet records in non-decreasing ingress-time order —

@@ -123,7 +123,8 @@ file_image map_trace_file(const std::string& path, trace_access access) {
   return kTraceV2FixedPayloadBytes +
          4 * static_cast<std::uint32_t>(r.path.size()) +
          8 * static_cast<std::uint32_t>(r.hop_departs.size()) +
-         (r.dropped() ? kTraceV2DropSuffixBytes : 0);
+         (r.dropped() ? kTraceV2DropSuffixBytes : 0) +
+         (r.stalled() ? kTraceV2StallSuffixBytes : 0);
 }
 
 // Serializes one record (length prefix + payload) into `buf`, reusing its
@@ -152,6 +153,12 @@ void encode_record(std::vector<std::uint8_t>& buf, const packet_record& r) {
     append_le<std::uint32_t>(buf, static_cast<std::uint32_t>(r.dropped_kind));
     append_le<std::int64_t>(buf, r.drop_time);
   }
+  if (r.stalled()) {
+    append_le<std::uint32_t>(buf, kTraceV2StallTag);
+    append_le<std::int32_t>(buf, r.stall_hop);
+    append_le<std::uint32_t>(buf, r.stall_count);
+    append_le<std::int64_t>(buf, r.stall_time);
+  }
 }
 
 // Decodes one payload of `len` bytes into `r`, reusing its vector capacity.
@@ -166,6 +173,9 @@ void decode_payload(const std::uint8_t* p, std::uint32_t len,
   r.drop_hop = -1;
   r.dropped_kind = drop_kind::buffer;
   r.drop_time = -1;
+  r.stall_hop = -1;
+  r.stall_count = 0;
+  r.stall_time = 0;
   r.id = load_le<std::uint64_t>(p);
   r.flow_id = load_le<std::uint64_t>(p + 8);
   r.seq_in_flow = load_le<std::uint32_t>(p + 16);
@@ -181,7 +191,16 @@ void decode_payload(const std::uint8_t* p, std::uint32_t len,
   // Overflow-safe: all operands fit in 64 bits by construction.
   const std::uint64_t want = static_cast<std::uint64_t>(
       kTraceV2FixedPayloadBytes) + 4ull * npath + 8ull * ndeparts;
-  if (want != len && want + kTraceV2DropSuffixBytes != len) {
+  // The bytes past the arrays identify the optional suffixes: none, drop
+  // (16), stall (20, tag-checked below), or drop followed by stall (36).
+  const std::uint64_t extra = len >= want ? len - want : UINT64_MAX;
+  const bool has_drop =
+      extra == kTraceV2DropSuffixBytes ||
+      extra == kTraceV2DropSuffixBytes + kTraceV2StallSuffixBytes;
+  const bool has_stall =
+      extra == kTraceV2StallSuffixBytes ||
+      extra == kTraceV2DropSuffixBytes + kTraceV2StallSuffixBytes;
+  if (extra != 0 && !has_drop && !has_stall) {
     throw trace_format_error(
         "trace v2: record array lengths disagree with its length prefix");
   }
@@ -195,8 +214,8 @@ void decode_payload(const std::uint8_t* p, std::uint32_t len,
   for (std::uint32_t i = 0; i < ndeparts; ++i) {
     r.hop_departs[i] = load_le<std::int64_t>(q + 8ull * i);
   }
-  if (want + kTraceV2DropSuffixBytes == len) {
-    q += 8ull * ndeparts;
+  q += 8ull * ndeparts;
+  if (has_drop) {
     r.drop_hop = load_le<std::int32_t>(q);
     const std::uint32_t kind = load_le<std::uint32_t>(q + 4);
     r.drop_time = load_le<std::int64_t>(q + 8);
@@ -205,6 +224,21 @@ void decode_payload(const std::uint8_t* p, std::uint32_t len,
       throw trace_format_error("trace v2: malformed drop suffix");
     }
     r.dropped_kind = static_cast<drop_kind>(kind);
+    q += kTraceV2DropSuffixBytes;
+  }
+  if (has_stall) {
+    // The tag distinguishes a genuine stall suffix from any other 20-byte
+    // trailer a corrupt length prefix could imply.
+    if (load_le<std::uint32_t>(q) != kTraceV2StallTag) {
+      throw trace_format_error("trace v2: malformed stall suffix tag");
+    }
+    r.stall_hop = load_le<std::int32_t>(q + 4);
+    r.stall_count = load_le<std::uint32_t>(q + 8);
+    r.stall_time = load_le<std::int64_t>(q + 12);
+    if (r.stall_hop < 0 || static_cast<std::uint32_t>(r.stall_hop) >= npath ||
+        r.stall_count == 0 || r.stall_time < 0) {
+      throw trace_format_error("trace v2: malformed stall suffix");
+    }
   }
 }
 
@@ -326,6 +360,9 @@ enum v3_col : std::size_t {
   // 16-column (lossy) files only:
   kColDropInfo = 14,
   kColDropTime = 15,
+  // 18-column (backpressured) files only:
+  kColStallInfo = 16,
+  kColStallTime = 17,
 };
 
 struct v3_header_fields {
@@ -365,7 +402,8 @@ v3_header_fields check_v3_header(const std::uint8_t* data, std::size_t size) {
   h.column_count = load_le<std::uint32_t>(data + 52);
   if (h.column_count == 0) h.column_count = kTraceV3ColumnCount;
   if (h.column_count != kTraceV3ColumnCount &&
-      h.column_count != kTraceV3MaxColumnCount) {
+      h.column_count != kTraceV3DropColumnCount &&
+      h.column_count != kTraceV3StallColumnCount) {
     throw trace_format_error("trace v3: unsupported column count " +
                              std::to_string(h.column_count));
   }
@@ -642,10 +680,12 @@ std::size_t trace_mmap_cursor::next_run(
 trace_v3_writer::trace_v3_writer(std::ostream& os,
                                  std::uint64_t record_capacity,
                                  std::uint32_t records_per_block,
-                                 bool with_drops)
+                                 bool with_drops, bool with_stalls)
     : os_(&os),
       records_per_block_(records_per_block),
-      ncols_(with_drops ? kTraceV3MaxColumnCount : kTraceV3ColumnCount) {
+      ncols_(with_stalls ? kTraceV3StallColumnCount
+             : with_drops ? kTraceV3DropColumnCount
+                          : kTraceV3ColumnCount) {
   if (records_per_block_ == 0) {
     throw std::logic_error("trace_v3_writer: records_per_block must be > 0");
   }
@@ -726,7 +766,7 @@ void trace_v3_writer::append(const packet_record& r) {
     put_varint(cols_[kColDeparts], zigzag(wrap_diff(d, prev_depart)));
     prev_depart = d;
   }
-  if (ncols_ == kTraceV3MaxColumnCount) {
+  if (ncols_ >= kTraceV3DropColumnCount) {
     const std::uint64_t info =
         r.dropped() ? ((static_cast<std::uint64_t>(r.drop_hop) + 1) << 2) |
                           static_cast<std::uint64_t>(r.dropped_kind)
@@ -738,6 +778,19 @@ void trace_v3_writer::append(const packet_record& r) {
   } else if (r.dropped()) {
     throw trace_format_error(
         "trace v3: dropped record appended to a writer without drop "
+        "columns");
+  }
+  if (ncols_ >= kTraceV3StallColumnCount) {
+    const std::uint64_t sinfo =
+        r.stalled() ? (static_cast<std::uint64_t>(r.stall_count) << 16) |
+                          (static_cast<std::uint64_t>(r.stall_hop) + 1)
+                    : 0;
+    put_varint(cols_[kColStallInfo], sinfo);
+    put_varint(cols_[kColStallTime],
+               r.stalled() ? static_cast<std::uint64_t>(r.stall_time) : 0);
+  } else if (r.stalled()) {
+    throw trace_format_error(
+        "trace v3: stalled record appended to a writer without stall "
         "columns");
   }
   ++in_block_;
@@ -818,13 +871,14 @@ void write_trace_v3(std::ostream& os, const trace& t) {
                             t.packets[b].ingress_time;
                    });
   bool any_dropped = false;
+  bool any_stalled = false;
   for (const auto& r : t.packets) {
-    if (r.dropped()) {
-      any_dropped = true;
-      break;
-    }
+    if (r.dropped()) any_dropped = true;
+    if (r.stalled()) any_stalled = true;
+    if (any_dropped && any_stalled) break;
   }
-  trace_v3_writer w(os, t.packets.size(), kTraceV3BlockRecords, any_dropped);
+  trace_v3_writer w(os, t.packets.size(), kTraceV3BlockRecords, any_dropped,
+                    any_stalled);
   for (const std::uint32_t i : order) w.append(t.packets[i]);
   w.finish();
 }
@@ -1004,9 +1058,13 @@ void trace_v3_cursor::decode_block_into(std::uint64_t b,
   sc.dst.resize(n);
   sc.path_pos.resize(n + 1);
   sc.departs_pos.resize(n + 1);
-  if (ncols_ == kTraceV3MaxColumnCount) {
+  if (ncols_ >= kTraceV3DropColumnCount) {
     sc.dropinfo.resize(n);
     sc.drop_time.resize(n);
+  }
+  if (ncols_ >= kTraceV3StallColumnCount) {
+    sc.stallinfo.resize(n);
+    sc.stall_time.resize(n);
   }
   // Every column decodes in two passes over the shared raw staging buffer:
   // one batched SWAR sweep that peels the varints (core::get_varints), then
@@ -1161,7 +1219,7 @@ void trace_v3_cursor::decode_block_into(std::uint64_t b,
       }
     }
   }
-  if (ncols_ == kTraceV3MaxColumnCount) {
+  if (ncols_ >= kTraceV3DropColumnCount) {
     decode_col(kColDropInfo, raw, n);
     for (std::uint32_t i = 0; i < n; ++i) {
       sc.dropinfo[i] = narrow_u32(raw[i], "dropinfo");
@@ -1169,6 +1227,14 @@ void trace_v3_cursor::decode_block_into(std::uint64_t b,
     decode_col(kColDropTime, raw, n);
     for (std::uint32_t i = 0; i < n; ++i) {
       sc.drop_time[i] = wrap_add(sc.ingress[i], unzigzag(raw[i]));
+    }
+  }
+  if (ncols_ >= kTraceV3StallColumnCount) {
+    decode_col(kColStallInfo, raw, n);
+    for (std::uint32_t i = 0; i < n; ++i) sc.stallinfo[i] = raw[i];
+    decode_col(kColStallTime, raw, n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      sc.stall_time[i] = static_cast<sim::time_ps>(raw[i]);
     }
   }
   // Assemble the whole block once; next()/next_run() then serve pointers
@@ -1199,7 +1265,10 @@ void trace_v3_cursor::assemble(const v3_block_scratch& sc, std::uint32_t i,
   r.drop_hop = -1;
   r.dropped_kind = drop_kind::buffer;
   r.drop_time = -1;
-  if (ncols_ == kTraceV3MaxColumnCount && sc.dropinfo[i] != 0) {
+  r.stall_hop = -1;
+  r.stall_count = 0;
+  r.stall_time = 0;
+  if (ncols_ >= kTraceV3DropColumnCount && sc.dropinfo[i] != 0) {
     const std::uint32_t info = sc.dropinfo[i];
     const std::uint32_t kind = info & 3;
     const std::uint32_t hop = (info >> 2) - 1;
@@ -1209,6 +1278,18 @@ void trace_v3_cursor::assemble(const v3_block_scratch& sc, std::uint32_t i,
     r.drop_hop = static_cast<std::int32_t>(hop);
     r.dropped_kind = static_cast<drop_kind>(kind);
     r.drop_time = sc.drop_time[i];
+  }
+  if (ncols_ >= kTraceV3StallColumnCount && sc.stallinfo[i] != 0) {
+    const std::uint64_t info = sc.stallinfo[i];
+    const std::uint64_t hop = (info & 0xFFFF) - 1;
+    const std::uint64_t count = info >> 16;
+    if (hop >= r.path.size() || count == 0 || count > UINT32_MAX ||
+        sc.stall_time[i] < 0) {
+      throw trace_format_error("trace v3: malformed stallinfo value");
+    }
+    r.stall_hop = static_cast<std::int32_t>(hop);
+    r.stall_count = static_cast<std::uint32_t>(count);
+    r.stall_time = sc.stall_time[i];
   }
 }
 

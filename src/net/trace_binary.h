@@ -32,6 +32,10 @@
 //     optional drop suffix (only for records of packets lost in the
 //     original run; its presence is exactly the extra 16 payload bytes):
 //       i32  drop_hop   u32 drop_kind (0 buffer, 1 wire)   i64 drop_time
+//     optional stall suffix (only for records of packets that parked as a
+//     blocked head under flow control; follows the drop suffix when both
+//     are present and is sniffed by its 20 extra payload bytes + tag):
+//       u32  tag "STLL"   i32 stall_hop   u32 stall_count   i64 stall_time
 //   footer index at index_offset
 //     u64  offsets[record_count]   byte offset of each record's length
 //                                  prefix, sorted by (ingress_time, offset)
@@ -54,7 +58,9 @@
 //     48  4  records_per_block
 //     52  4  column_count     0 (legacy, meaning 14) or the number of
 //                             per-block columns; lossy traces write 16
-//                             (the 14 base columns + dropinfo + dtime)
+//                             (the 14 base columns + dropinfo + dtime),
+//                             backpressured traces 18 (those 16 +
+//                             stallinfo + stime)
 //     56  8  reserved (zero)
 //   block index directly after the header (NOT a footer): one 32-byte
 //   entry per block, so a reader seeks mid-file after touching only the
@@ -64,7 +70,8 @@
 //     i64  min_ingress     == the block's first record's ingress time
 //     i64  max_ingress     == the block's last record's ingress time
 //   blocks back to back from data_offset, each:
-//     block header  24 + 4*column_count bytes (80 legacy, 88 lossy)
+//     block header  24 + 4*column_count bytes (80 legacy, 88 lossy,
+//                   96 backpressured)
 //       u32  record_count   in (0, records_per_block]
 //       u32  block_bytes    == the index entry's `bytes`
 //       i64  base_ingress   == the index entry's min_ingress
@@ -87,10 +94,15 @@
 //       qdelay         zigzag
 //       path data      zigzag per hop
 //       departs data   zigzag delta chain seeded from the record's ingress
-//       dropinfo       (16-column files only) plain varint; 0 for a
+//       dropinfo       (16+-column files only) plain varint; 0 for a
 //                      delivered record, else ((drop_hop + 1) << 2) | kind
-//       dtime          (16-column files only) zigzag(drop_time - ingress);
+//       dtime          (16+-column files only) zigzag(drop_time - ingress);
 //                      0 for a delivered record
+//       stallinfo      (18-column files only) plain varint; 0 for a
+//                      never-stalled record, else
+//                      (stall_count << 16) | (stall_hop + 1)
+//       stime          (18-column files only) plain varint of the total
+//                      stalled picoseconds; 0 for a never-stalled record
 //
 // Records are stored in non-decreasing ingress order (the writer enforces
 // it), so the block index IS the seek structure: binary-search min/max
@@ -122,6 +134,12 @@ inline constexpr std::uint32_t kTraceV2FixedPayloadBytes = 72;
 // Optional per-record drop suffix (i32 drop_hop, u32 drop_kind,
 // i64 drop_time); present exactly when the payload length says so.
 inline constexpr std::uint32_t kTraceV2DropSuffixBytes = 16;
+// Optional per-record stall suffix (u32 "STLL" tag, i32 stall_hop,
+// u32 stall_count, i64 stall_time); follows the drop suffix when both are
+// present. The tag disambiguates a stall-only record (payload + 20) from
+// any future 20-byte extension.
+inline constexpr std::uint32_t kTraceV2StallSuffixBytes = 20;
+inline constexpr std::uint32_t kTraceV2StallTag = 0x4C4C5453;  // "STLL" LE
 
 inline constexpr char kTraceV3Magic[8] = {'U', 'P', 'S', 'T',
                                           'R', 'C', 'v', '3'};
@@ -135,14 +153,17 @@ inline constexpr std::uint32_t kTraceV3BlockHeaderBytes = 80;
 // + 32B index entry to ~0.03 B/record and give the per-column decode loops
 // long runs, small enough that the SoA scratch stays cache-resident.
 inline constexpr std::uint32_t kTraceV3BlockRecords = 1024;
-// Base column set (zero-loss traces; header column_count 0 means this) and
-// the widened set lossy traces write (base + dropinfo + dtime).
+// Base column set (zero-loss traces; header column_count 0 means this),
+// the widened set lossy traces write (base + dropinfo + dtime), and the
+// widest set backpressured traces write (those + stallinfo + stime).
 inline constexpr std::uint32_t kTraceV3ColumnCount = 14;
-inline constexpr std::uint32_t kTraceV3MaxColumnCount = 16;
+inline constexpr std::uint32_t kTraceV3DropColumnCount = 16;
+inline constexpr std::uint32_t kTraceV3StallColumnCount = 18;
+inline constexpr std::uint32_t kTraceV3MaxColumnCount = 18;
 inline constexpr const char* kTraceV3ColumnNames[kTraceV3MaxColumnCount] = {
     "ingress", "egress", "id",     "flow",  "seq",  "size",  "src",
     "dst",     "qdelay", "flowsz", "plen",  "path", "dlen",  "departs",
-    "dropinfo", "dtime"};
+    "dropinfo", "dtime",  "stallinfo", "stime"};
 
 [[nodiscard]] constexpr std::uint32_t trace_v3_block_header_bytes(
     std::uint32_t column_count) noexcept {
@@ -324,13 +345,16 @@ class trace_mmap_cursor final : public trace_cursor {
 // trace_format_error.
 class trace_v3_writer {
  public:
-  // `with_drops` widens the column set to kTraceV3MaxColumnCount so drop
-  // records can be stored; appending a dropped record to a base-column
-  // writer throws. Zero-loss traces must keep with_drops == false so their
-  // bytes stay identical to files written before drop support existed.
+  // `with_drops` widens the column set to kTraceV3DropColumnCount so drop
+  // records can be stored, and `with_stalls` to kTraceV3StallColumnCount
+  // for stall records (stalls imply the drop columns too — the layout is a
+  // strict prefix chain); appending a dropped/stalled record to a
+  // too-narrow writer throws. Zero-loss zero-stall traces must keep both
+  // false so their bytes stay identical to files written before drop and
+  // stall support existed.
   trace_v3_writer(std::ostream& os, std::uint64_t record_capacity,
                   std::uint32_t records_per_block = kTraceV3BlockRecords,
-                  bool with_drops = false);
+                  bool with_drops = false, bool with_stalls = false);
   trace_v3_writer(const trace_v3_writer&) = delete;
   trace_v3_writer& operator=(const trace_v3_writer&) = delete;
 
@@ -358,7 +382,7 @@ class trace_v3_writer {
   sim::time_ps prev_ingress_ = 0;
   std::uint64_t prev_id_ = 0;
   std::uint64_t prev_flow_ = 0;
-  std::uint32_t ncols_;  // kTraceV3ColumnCount, or Max with drops
+  std::uint32_t ncols_;  // 14 base, 16 with drops, 18 with stalls
   std::array<std::vector<std::uint8_t>, kTraceV3MaxColumnCount> cols_;
   std::vector<std::uint8_t> block_buf_;  // reused assembly scratch
 
@@ -444,7 +468,8 @@ class trace_v3_cursor final : public trace_cursor {
   [[nodiscard]] std::array<std::uint32_t, kTraceV3MaxColumnCount>
   column_bytes_at(std::uint64_t b) const;
   // Columns stored per record in this file: kTraceV3ColumnCount for
-  // zero-loss traces, kTraceV3MaxColumnCount when drop columns are present.
+  // zero-loss traces, kTraceV3DropColumnCount when drop columns are
+  // present, kTraceV3StallColumnCount when stall columns are too.
   [[nodiscard]] std::uint32_t column_count() const noexcept { return ncols_; }
 
   // Repositions at the first record of block `b` (binary entry point for
@@ -474,9 +499,12 @@ class trace_v3_cursor final : public trace_cursor {
     std::vector<std::uint32_t> path_pos, departs_pos;  // prefix offsets
     std::vector<node_id> path_flat;
     std::vector<sim::time_ps> departs_flat;
-    // Drop columns (sized only for 16-column files; empty otherwise).
+    // Drop columns (sized only for 16+-column files; empty otherwise).
     std::vector<std::uint32_t> dropinfo;  // 0, or ((drop_hop+1)<<2)|kind
     std::vector<sim::time_ps> drop_time;
+    // Stall columns (sized only for 18-column files; empty otherwise).
+    std::vector<std::uint64_t> stallinfo;  // 0, or (count<<16)|(hop+1)
+    std::vector<sim::time_ps> stall_time;
     // Raw batched-varint staging shared by every column of a block.
     std::vector<std::uint64_t> raw;
     // Assembled records, served by pointer; sized to the largest block

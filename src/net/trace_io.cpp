@@ -24,6 +24,9 @@ void read_record(std::istream& is, packet_record& r) {
   r.drop_hop = -1;
   r.dropped_kind = drop_kind::buffer;
   r.drop_time = -1;
+  r.stall_hop = -1;
+  r.stall_count = 0;
+  r.stall_time = 0;
   std::size_t path_len = 0;
   is >> r.id >> r.flow_id >> r.seq_in_flow >> r.size_bytes >> r.src_host >>
       r.dst_host >> r.ingress_time >> r.egress_time >> r.queueing_delay >>
@@ -49,6 +52,19 @@ void read_record(std::istream& is, packet_record& r) {
       throw trace_format_error("trace: malformed drop record");
     }
     r.dropped_kind = static_cast<drop_kind>(kind);
+  }
+  // Optional stall suffix "S <hop> <count> <time>", after the drop suffix
+  // when both are present.
+  is >> std::ws;
+  if (is.peek() == 'S') {
+    is.get();
+    is >> r.stall_hop >> r.stall_count >> r.stall_time;
+    if (!is) throw trace_format_error("trace: truncated stall record");
+    if (r.stall_hop < 0 ||
+        static_cast<std::size_t>(r.stall_hop) >= r.path.size() ||
+        r.stall_count == 0 || r.stall_time < 0) {
+      throw trace_format_error("trace: malformed stall record");
+    }
   }
 }
 
@@ -89,6 +105,9 @@ void write_trace_record(std::ostream& os, const packet_record& r) {
   if (r.dropped()) {
     os << " D " << r.drop_hop << ' ' << static_cast<int>(r.dropped_kind)
        << ' ' << r.drop_time;
+  }
+  if (r.stalled()) {
+    os << " S " << r.stall_hop << ' ' << r.stall_count << ' ' << r.stall_time;
   }
   os << '\n';
 }
@@ -201,11 +220,23 @@ bool trace_file_has_drop_records(const std::string& path) {
   if (is_trace_v3_file(path)) {
     // v3 answers off the header: only wide-column files can hold drops.
     trace_v3_cursor cur(path, trace_access::random);
-    return cur.column_count() > kTraceV3ColumnCount;
+    return cur.column_count() >= kTraceV3DropColumnCount;
   }
   auto cur = open_trace_cursor(path);
   while (const packet_record* r = cur->next()) {
     if (r->dropped()) return true;
+  }
+  return false;
+}
+
+bool trace_file_has_stall_records(const std::string& path) {
+  if (is_trace_v3_file(path)) {
+    trace_v3_cursor cur(path, trace_access::random);
+    return cur.column_count() >= kTraceV3StallColumnCount;
+  }
+  auto cur = open_trace_cursor(path);
+  while (const packet_record* r = cur->next()) {
+    if (r->stalled()) return true;
   }
   return false;
 }

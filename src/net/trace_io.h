@@ -90,4 +90,8 @@ class trace_stream_reader final : public trace_cursor {
 // a record walk for v2/v1.
 [[nodiscard]] bool trace_file_has_drop_records(const std::string& path);
 
+// Same sniff for stall records (backpressured originals): v3 answers off
+// the header column count, v2/v1 walk the records.
+[[nodiscard]] bool trace_file_has_stall_records(const std::string& path);
+
 }  // namespace ups::net

@@ -337,6 +337,28 @@ TEST(dispatch_process, survives_worker_sigkill_via_respawn) {
   expect_identical_reports(ref, rep);
 }
 
+TEST(dispatch_process, hung_worker_is_timed_out_and_range_reassigned) {
+  const job_plan plan = small_plan();
+  backend_spec serial;
+  serial.kind = backend_kind::serial;
+  const run_report ref = run(plan, serial);
+
+  // The first worker hangs forever after computing its first job — alive as
+  // a process but silent on its socket, so no waitpid/EOF signal will ever
+  // fire. The assign->result watchdog must notice the silence, classify it
+  // timed_out, SIGKILL the worker, reassign its in-flight range, and still
+  // merge byte-identically.
+  backend_spec spec = process_spec(2);
+  spec.hang_worker_after = 1;
+  spec.worker_timeout_ms = 1000;  // dialed down so the suite stays fast
+  const run_report rep = run(plan, spec);
+  ASSERT_TRUE(rep.all_ok());
+  ASSERT_FALSE(rep.worker_failures.empty());
+  EXPECT_EQ(rep.worker_failures[0].kind, worker_failure_kind::timed_out);
+  EXPECT_FALSE(rep.worker_failures[0].reassigned_jobs.empty());
+  expect_identical_reports(ref, rep);
+}
+
 TEST(dispatch_process, truncated_result_frame_is_classified_not_hung) {
   const job_plan plan = small_plan();
   backend_spec serial;

@@ -63,12 +63,13 @@ using namespace ups;
       "usage:\n"
       "  tracec gen <out> [--topo=K] [--util=F] [--sched=NAME] [--seed=N]\n"
       "                   [--packets=N] [--format=v1|v2|v3] [--hops]\n"
-      "                   [--workload=W] [--fault=F]\n"
+      "                   [--workload=W] [--fault=F] [--flow=C]\n"
       "  tracec convert <in> <out> [--format=v1|v2|v3]\n"
       "  tracec inspect <file> [--records=N]\n"
       "  tracec replay <file> --topo=K [--mode=M] [--upfront]\n"
       "                [--dispatch=serial|thread[:N]|process[:N]]\n"
-      "                [--kill-worker-after=K] [--fault=F]\n"
+      "                [--kill-worker-after=K] [--hang-worker-after=K]\n"
+      "                [--worker-timeout-ms=T] [--fault=F] [--flow=C]\n"
       "topologies: i2 i2-1g i2-10g rocketfuel fattree\n"
       "modes: lstf lstf-preempt lstf-pheap edf priority omniscient\n"
       "workloads: open-loop paced[:frac] closed-loop[:outstanding]\n"
@@ -76,7 +77,11 @@ using namespace ups;
       "           mixed[:degree[:outstanding[:share]]]\n"
       "faults: bernoulli:p ge:p_good,p_bad,flip jam:period_us,duty[,speedup]\n"
       "        (replay only needs --fault to re-apply a jam speedup's link\n"
-      "        rates; the drop schedule itself is in the trace)\n");
+      "        rates; the drop schedule itself is in the trace)\n"
+      "flow control: credit:bytes[,rtt_us] pause:high,low none\n"
+      "        (gen records stalls in the trace; replay re-enacts recorded\n"
+      "        stalls always and --flow additionally governs the replay's\n"
+      "        own links)\n");
   std::exit(2);
 }
 
@@ -138,6 +143,7 @@ int cmd_gen(const std::string& out, const flags& f) {
   const std::string workload = f.get("workload", "open-loop");
   sc.workload_kind = traffic::parse_workload(workload, sc.workload_spec);
   sc.fault = net::fault_spec::parse(f.get("fault", ""));
+  sc.flow = net::flow_spec::parse(f.get("flow", ""));
   auto orig = exp::run_original(sc);
   // Ingress-sort at record time so the v1 file streams straight into
   // replay; v2 carries its own index but sorting keeps the two file
@@ -172,6 +178,20 @@ int cmd_gen(const std::string& out, const flags& f) {
                 static_cast<unsigned long long>(dropped),
                 orig.trace.packets.size());
   }
+  if (sc.flow.enabled()) {
+    std::uint64_t stalled = 0;
+    sim::time_ps stall_time = 0;
+    for (const auto& r : orig.trace.packets) {
+      if (!r.stalled()) continue;
+      ++stalled;
+      stall_time += r.stall_time;
+    }
+    std::printf("flow %s: %llu of %zu recorded packets stalled "
+                "(%.3f ms total)\n",
+                sc.flow.label().c_str(),
+                static_cast<unsigned long long>(stalled),
+                orig.trace.packets.size(), sim::to_millis(stall_time));
+  }
   return 0;
 }
 
@@ -204,9 +224,12 @@ int cmd_convert(const std::string& in, const std::string& out,
     n = writer.written();
   } else if (target == "v3") {
     // A streaming converter must pick the column layout before the first
-    // record; sniff the source for drops up front (O(header) for v3).
+    // record; sniff the source for drops and stalls up front (O(header)
+    // for v3) so a backpressured source gets the 18-column layout and a
+    // clean source keeps the narrow one.
     net::trace_v3_writer writer(os, declared, net::kTraceV3BlockRecords,
-                                net::trace_file_has_drop_records(in));
+                                net::trace_file_has_drop_records(in),
+                                net::trace_file_has_stall_records(in));
     while (const net::packet_record* r = cur->next()) writer.append(*r);
     writer.finish();
     n = writer.written();
@@ -236,7 +259,8 @@ void print_record(const net::packet_record& r) {
 [[nodiscard]] std::uint64_t v2_record_bytes(const net::packet_record& r) {
   return 4 + net::kTraceV2FixedPayloadBytes + 4 * r.path.size() +
          8 * r.hop_departs.size() +
-         (r.dropped() ? net::kTraceV2DropSuffixBytes : 0) + 8;
+         (r.dropped() ? net::kTraceV2DropSuffixBytes : 0) +
+         (r.stalled() ? net::kTraceV2StallSuffixBytes : 0) + 8;
 }
 
 // Drop tallies accumulated during an integrity walk. A wire drop keys on
@@ -271,6 +295,49 @@ struct drop_tally {
     for (const auto& [link, n] : by_link) {
       std::printf("  %-12s %llu\n", link.c_str(),
                   static_cast<unsigned long long>(n));
+    }
+  }
+};
+
+// Stall tallies accumulated during an integrity walk. A stall record keys
+// on the "from->to" hop pair whose governed output port parked the packet
+// (the hop of its longest stall); pause/resume event counts come from the
+// per-record stall_count (every recorded block was eventually resumed).
+struct stall_tally {
+  std::uint64_t stalled = 0;
+  std::uint64_t pauses = 0;
+  sim::time_ps stall_time = 0;
+  std::map<std::string, std::pair<std::uint64_t, sim::time_ps>> by_link;
+
+  void add(const net::packet_record& r) {
+    if (!r.stalled()) return;
+    ++stalled;
+    pauses += r.stall_count;
+    stall_time += r.stall_time;
+    const auto h = static_cast<std::size_t>(r.stall_hop);
+    char key[48];
+    if (h + 1 < r.path.size()) {
+      std::snprintf(key, sizeof(key), "%d->%d", r.path[h], r.path[h + 1]);
+    } else {
+      std::snprintf(key, sizeof(key), "egress@%d", r.path[h]);
+    }
+    auto& [n, t] = by_link[key];
+    n += r.stall_count;
+    t += r.stall_time;
+  }
+
+  void print(std::size_t records) const {
+    if (stalled == 0) return;
+    std::printf("stalls: %llu of %zu records stalled (%llu pause/resume "
+                "events, %.3f ms total)\n",
+                static_cast<unsigned long long>(stalled), records,
+                static_cast<unsigned long long>(pauses),
+                sim::to_millis(stall_time));
+    std::printf("per-link stall-time histogram:\n");
+    for (const auto& [link, nt] : by_link) {
+      std::printf("  %-12s %6llu events  %10.3f ms\n", link.c_str(),
+                  static_cast<unsigned long long>(nt.first),
+                  sim::to_millis(nt.second));
     }
   }
 };
@@ -349,9 +416,11 @@ int cmd_inspect_v3(const std::string& path, std::size_t show) {
   std::uint64_t v2_bytes = net::kTraceV2HeaderBytes;
   std::size_t shown = 0;
   drop_tally drops;
+  stall_tally stalls;
   while (const net::packet_record* r = cur.next()) {
     v2_bytes += v2_record_bytes(*r);
     drops.add(*r);
+    stalls.add(*r);
     if (shown++ >= show) continue;
     print_record(*r);
   }
@@ -364,6 +433,7 @@ int cmd_inspect_v3(const std::string& path, std::size_t show) {
                     static_cast<double>(v2_bytes));
   }
   drops.print(cur.read());
+  stalls.print(cur.read());
   std::printf("integrity: all %zu records decode cleanly, blocks in "
               "ingress order\n",
               cur.read());
@@ -396,8 +466,10 @@ int cmd_inspect(const std::string& path, const flags& f) {
     // exercises the same bounds and order checks replay would hit.
     std::size_t shown = 0;
     drop_tally drops;
+    stall_tally stalls;
     while (const net::packet_record* r = cur.next()) {
       drops.add(*r);
+      stalls.add(*r);
       if (shown++ >= show) continue;
       std::printf("  id=%llu flow=%llu size=%u i=%lld o=%lld hops=%zu\n",
                   static_cast<unsigned long long>(r->id),
@@ -406,6 +478,7 @@ int cmd_inspect(const std::string& path, const flags& f) {
                   static_cast<long long>(r->egress_time), r->path.size());
     }
     drops.print(cur.read());
+    stalls.print(cur.read());
     std::printf("integrity: all %zu records decode cleanly, index in "
                 "ingress order\n",
                 cur.read());
@@ -416,10 +489,12 @@ int cmd_inspect(const std::string& path, const flags& f) {
     std::size_t shown = 0;
     sim::time_ps first = -1, last = -1;
     drop_tally drops;
+    stall_tally stalls;
     while (const net::packet_record* r = reader.next()) {
       if (first < 0) first = r->ingress_time;
       last = r->ingress_time;
       drops.add(*r);
+      stalls.add(*r);
       if (shown++ >= show) continue;
       std::printf("  id=%llu flow=%llu size=%u i=%lld o=%lld hops=%zu\n",
                   static_cast<unsigned long long>(r->id),
@@ -428,6 +503,7 @@ int cmd_inspect(const std::string& path, const flags& f) {
                   static_cast<long long>(r->egress_time), r->path.size());
     }
     drops.print(reader.read());
+    stalls.print(reader.read());
     std::printf("ingress span (file order): %lld .. %lld ps, %zu records "
                 "parsed\n",
                 static_cast<long long>(first), static_cast<long long>(last),
@@ -468,14 +544,20 @@ int cmd_replay(const std::string& path, const flags& f,
   exp::shard_options opt;
   opt.injection = f.has("upfront") ? core::injection_mode::upfront
                                    : core::injection_mode::streaming;
-  // --dispatch / --kill-worker-after come via the shared exp::args parser,
-  // so the syntax is exactly the bench's. Default backend: serial.
+  // Recorded stalls re-enact unconditionally; --flow additionally attaches
+  // live credit/pause governance to the replay network's own links.
+  opt.replay_flow = net::flow_spec::parse(f.get("flow", ""));
+  // --dispatch / --kill-worker-after / --hang-worker-after come via the
+  // shared exp::args parser, so the syntax is exactly the bench's. Default
+  // backend: serial.
   exp::dispatch::backend_spec spec;
   spec.kind = exp::dispatch::backend_kind::serial;
   if (!shared.dispatch.empty()) {
     spec = exp::dispatch::backend_spec::parse(shared.dispatch);
   }
   spec.kill_worker_after = shared.kill_worker_after;
+  spec.hang_worker_after = shared.hang_worker_after;
+  spec.worker_timeout_ms = shared.worker_timeout_ms;
 
   const auto t0 = std::chrono::steady_clock::now();
   const exp::dispatch::run_report rep = exp::dispatch::run(
